@@ -1,0 +1,1 @@
+bench/ablations.ml: Adapter Array Bench_common Check Fmt Harness Lineup Lineup_conc Lineup_history Lineup_scheduler List Observation Option Random Random_check Report Result String Test_matrix Unix

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Check Fmt Lineup Lineup_conc Lineup_history Lineup_scheduler Lineup_value List

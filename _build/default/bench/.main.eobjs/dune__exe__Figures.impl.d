@@ -1,0 +1,1 @@
+bench/figures.ml: Bench_common Check Fmt Lineup Lineup_conc Observation_file Report Test_matrix

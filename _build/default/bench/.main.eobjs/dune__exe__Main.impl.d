@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Bechamel_bench Bench_common Figures Fmt List Sections Table1 Table2 Unix

@@ -1,0 +1,1 @@
+bench/sections.ml: Adapter Array Bench_common Check Fmt Hashtbl Lineup Lineup_checkers Lineup_conc Lineup_scheduler List Observation Random Report String Test_matrix

@@ -1,0 +1,1 @@
+bench/table1.ml: Adapter Bench_common Fmt Hashtbl Lineup Lineup_conc Lineup_history List String

@@ -1,0 +1,1 @@
+bench/table2.ml: Adapter Bench_common Check Float Fmt Lineup Lineup_conc Lineup_scheduler List Minimize Random Random_check String Test_matrix Unix

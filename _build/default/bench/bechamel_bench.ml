@@ -1,0 +1,100 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure driver, timing
+   the hot paths that regenerate them — phase 1 (serial enumeration), the
+   two-phase check, witness search, and the direct WGL checker used as the
+   oracle. *)
+
+open Bench_common
+module Conc = Lineup_conc
+module Specs = Lineup_spec.Specs
+module Lin_check = Lineup_spec.Lin_check
+module Explore = Lineup_scheduler.Explore
+open Lineup
+open Bechamel
+open Toolkit
+
+let fig1_test =
+  Test_matrix.make
+    [ [ inv_int "Enqueue" 200; inv_int "Enqueue" 400 ]; [ inv "TryDequeue"; inv "TryDequeue" ] ]
+
+let small_counter_test = Test_matrix.make [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ]
+
+(* A fixed concurrent history + observation set for witness-search timing. *)
+let witness_fixture =
+  let r = Check.run Conc.Counters.correct small_counter_test in
+  let obs = r.Check.observation in
+  let h =
+    let open Lineup_history in
+    History.make
+      [
+        Event.call ~tid:0 ~op_index:0 (inv "Inc");
+        Event.call ~tid:1 ~op_index:0 (inv "Inc");
+        Event.return ~tid:0 ~op_index:0 Lineup_value.Value.Unit;
+        Event.return ~tid:1 ~op_index:0 Lineup_value.Value.Unit;
+        Event.call ~tid:0 ~op_index:1 (inv "Get");
+        Event.return ~tid:0 ~op_index:1 (Lineup_value.Value.Int 2);
+      ]
+  in
+  obs, h
+
+let phase1_only_config =
+  {
+    Check.default_config with
+    Check.phase2 = { Explore.serial_config with Explore.max_executions = Some 1 };
+  }
+
+let tests =
+  [
+    (* Table 2 driver: one full two-phase check of a small test *)
+    Test.make ~name:"check-2x2-counter (T2 row)" (Staged.stage (fun () ->
+        ignore (Check.run Conc.Counters.correct small_counter_test)));
+    (* Figure 1 driver: two-phase check that finds the queue violation *)
+    Test.make ~name:"check-fig1-queue (F1)" (Staged.stage (fun () ->
+        ignore (Check.run Conc.Concurrent_queue.pre fig1_test)));
+    (* Figure 7 / §5.4 driver: phase 1 serial enumeration of the 2x2 test *)
+    Test.make ~name:"phase1-2x2-queue (F7, AB3)" (Staged.stage (fun () ->
+        ignore (Check.run ~config:phase1_only_config Conc.Concurrent_queue.correct fig1_test)));
+    (* Phase-2 inner loop: witness search for one history *)
+    Test.make ~name:"witness-search (T2 inner loop)" (Staged.stage (fun () ->
+        let obs, h = witness_fixture in
+        ignore (Observation.find_witness_full obs h)));
+    (* The oracle: direct Wing-Gong-Lowe check of the same history *)
+    Test.make ~name:"wgl-direct-check (oracle)" (Staged.stage (fun () ->
+        let _, h = witness_fixture in
+        ignore (Lin_check.check Specs.counter h)));
+    (* Figure 9 driver: generalized (stuck-history) check *)
+    Test.make ~name:"check-fig9-mre (F9)" (Staged.stage (fun () ->
+        ignore
+          (Check.run Conc.Manual_reset_event.lost_signal
+             (Test_matrix.make [ [ inv "Wait" ]; [ inv "Set" ] ]))));
+  ]
+
+let run () =
+  hr "Bechamel micro-benchmarks (per-table/figure drivers)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name:"lineup" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "%-45s %15s %10s@." "benchmark" "time/run" "r²";
+  Fmt.pr "%s@." (String.make 75 '-');
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      let time_str ns =
+        if ns > 1e9 then Fmt.str "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Fmt.str "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.0f ns" ns
+      in
+      Fmt.pr "%-45s %15s %10.4f@." name (time_str estimate) r2)
+    rows

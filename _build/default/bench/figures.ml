@@ -1,0 +1,55 @@
+(* Figures 1, 7 and 9 of the paper. *)
+
+open Bench_common
+module Conc = Lineup_conc
+open Lineup
+
+let fig1 opts =
+  hr "Figure 1: the CTP ConcurrentQueue bug (TryTake fails on a non-empty queue)";
+  let adapter = Conc.Concurrent_queue.pre in
+  let test =
+    Test_matrix.make
+      [
+        [ inv_int "Enqueue" 200; inv_int "Enqueue" 400 ];
+        [ inv "TryDequeue"; inv "TryDequeue" ];
+      ]
+  in
+  let r = Check.run ~config:(check_config opts) adapter test in
+  Fmt.pr "%s@." (Report.check_result_to_string ~adapter ~test r);
+  let fixed = Check.run ~config:(check_config opts) Conc.Concurrent_queue.correct test in
+  Fmt.pr "@.Beta2 (fixed) queue on the same test: %s@." (Report.summary fixed)
+
+let fig7 opts =
+  hr "Figure 7: observation file of the 2x2 Add/Add vs Take/TryTake test";
+  let adapter = Conc.Blocking_collection.fifo in
+  let test =
+    Test_matrix.make [ [ inv_int "Add" 200; inv_int "Add" 400 ]; [ inv "Take"; inv "TryTake" ] ]
+  in
+  let r = Check.run ~config:(check_config opts) adapter test in
+  Fmt.pr "Verdict: %s@.@." (Report.summary r);
+  Fmt.pr "%s@." (Observation_file.to_string r.Check.observation)
+
+let fig9 opts =
+  hr "Figure 9: ManualResetEvent — a thread that is never unblocked";
+  let adapter = Conc.Manual_reset_event.lost_signal in
+  let test = Test_matrix.make [ [ inv "Wait" ] ; [ inv "Set" ] ] in
+  Fmt.pr "Lost-signal variant on {Wait / Set}:@.";
+  let r = Check.run ~config:(check_config opts) adapter test in
+  Fmt.pr "%s@.@." (Report.check_result_to_string ~adapter ~test r);
+  let classic =
+    Check.run ~config:{ (check_config opts) with Check.classic_only = true } adapter test
+  in
+  Fmt.pr "Same test under classic linearizability (Definition 1 only): %s@.@."
+    (Report.summary classic);
+  let adapter = Conc.Manual_reset_event.cas_typo in
+  let test = Test_matrix.make [ [ inv "Wait"; inv "IsSet" ]; [ inv "Set"; inv "Reset" ] ] in
+  Fmt.pr "CAS-typo variant (the paper's literal defect) on {Wait;IsSet / Set;Reset}:@.";
+  let r = Check.run ~config:(check_config opts) adapter test in
+  Fmt.pr "%s@.@." (Report.check_result_to_string ~adapter ~test r);
+  let correct = Conc.Manual_reset_event.correct in
+  let fig9_matrix =
+    Test_matrix.make [ [ inv "Wait" ]; [ inv "Set"; inv "Reset"; inv "Set" ] ]
+  in
+  let r = Check.run ~config:(check_config opts) correct fig9_matrix in
+  Fmt.pr "Corrected MRE on the original Fig. 9 matrix {Wait / Set;Reset;Set}: %s@."
+    (Report.summary r)

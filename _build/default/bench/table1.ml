@@ -1,0 +1,47 @@
+(* Table 1 of the paper: the classes under test and the methods checked.
+   The paper reports the .NET class sizes; we report our reimplementation
+   inventory: class, versions available, and the invocation universe used
+   for automatic test generation. *)
+
+open Bench_common
+module Conc = Lineup_conc
+open Lineup
+
+let method_names (adapter : Adapter.t) =
+  adapter.Adapter.universe
+  |> List.map (fun (i : Lineup_history.Invocation.t) -> i.name)
+  |> List.sort_uniq String.compare
+
+let run () =
+  hr "Table 1: classes and methods checked";
+  let by_class : (string, Conc.Registry.entry list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Conc.Registry.entry) ->
+      match Hashtbl.find_opt by_class e.class_name with
+      | Some l -> l := e :: !l
+      | None ->
+        Hashtbl.replace by_class e.class_name (ref [ e ]);
+        order := e.class_name :: !order)
+    Conc.Registry.all;
+  Fmt.pr "%-22s %-10s %-3s %s@." "Class" "Versions" "Ops" "Methods checked";
+  Fmt.pr "%s@." (String.make 100 '-');
+  List.iter
+    (fun class_name ->
+      let entries = !(Hashtbl.find by_class class_name) in
+      let versions =
+        entries
+        |> List.map (fun (e : Conc.Registry.entry) ->
+               match e.version with `Beta2 -> "beta2" | `Pre -> "pre")
+        |> List.sort_uniq String.compare
+        |> String.concat "+"
+      in
+      let adapter = (List.hd entries).Conc.Registry.adapter in
+      let methods = method_names adapter in
+      Fmt.pr "%-22s %-10s %-3d %s@." class_name versions
+        (List.length adapter.Adapter.universe)
+        (String.concat ", " methods))
+    (List.rev !order);
+  Fmt.pr "@.%d classes, %d adapters (correct + seeded-defect variants)@."
+    (Hashtbl.length by_class)
+    (List.length Conc.Registry.all)

@@ -1,0 +1,324 @@
+(* The Line-Up command-line tool.
+
+   Subcommands:
+     list      — show the catalog of implementations under test
+     check     — run Check(X, m) on a named class with an explicit matrix
+     random    — RandomCheck: sample k random tests of a given dimension
+     auto      — AutoCheck: systematic enumeration with a test budget
+     observe   — run phase 1 only and emit the observation file (Fig. 7)
+     minimize  — shrink a failing test to a local minimum
+     compare   — run the §5.6 comparison checkers (races, serializability) *)
+
+module H = Lineup_history
+module Value = Lineup_value.Value
+module Conc = Lineup_conc
+module Checkers = Lineup_checkers
+module Explore = Lineup_scheduler.Explore
+open Lineup
+open Cmdliner
+
+let list_entries () =
+  Fmt.pr "%-50s %-6s %-22s %s@." "ADAPTER" "VER" "EXPECTED" "DEFECT";
+  List.iter
+    (fun (e : Conc.Registry.entry) ->
+      let expected =
+        match e.expected with
+        | Conc.Registry.Pass -> "pass"
+        | Conc.Registry.Bug id -> "bug " ^ id
+        | Conc.Registry.Intentional_nondeterminism id -> "nondet " ^ id
+        | Conc.Registry.Intentional_nonlinearizability id -> "nonlin " ^ id
+      in
+      Fmt.pr "%-50s %-6s %-22s %s@."
+        e.adapter.Adapter.name
+        (match e.version with `Beta2 -> "beta2" | `Pre -> "pre")
+        expected
+        (Option.value ~default:"-" e.defect))
+    Conc.Registry.all;
+  `Ok ()
+
+let find_adapter name =
+  match Conc.Registry.find name with
+  | e -> Ok e.Conc.Registry.adapter
+  | exception Not_found ->
+    Error
+      (Fmt.str "unknown adapter %S; run `lineup list` for the catalog" name)
+
+(* A matrix is given as column specs "Inc,Get" "Inc" — one argument per
+   thread, operations comma-separated, arguments in parentheses:
+   "Enqueue(200),TryDequeue". *)
+let parse_invocation s =
+  match String.index_opt s '(' with
+  | None -> H.Invocation.make (String.trim s)
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then
+      Fmt.failwith "malformed invocation %S (missing closing parenthesis)" s;
+    let name = String.trim (String.sub s 0 i) in
+    let arg = String.sub s (i + 1) (String.length s - i - 2) in
+    H.Invocation.make ~arg:(Value.of_string arg) name
+
+let parse_column s =
+  String.split_on_char ',' s |> List.filter (fun x -> String.trim x <> "")
+  |> List.map parse_invocation
+
+let config_of ~pb ~cap ~classic =
+  Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic ()
+
+let check_cmd_run name columns pb cap classic verbose cache_dir =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter ->
+    let test = Test_matrix.make (List.map parse_column columns) in
+    let config = config_of ~pb ~cap ~classic in
+    let r =
+      match cache_dir with
+      | Some dir -> Obs_cache.check ~config ~dir adapter test
+      | None -> Check.run ~config adapter test
+    in
+    if verbose then Fmt.pr "%s@." (Report.check_result_to_string ~adapter ~test r)
+    else Fmt.pr "%s@." (Report.summary r);
+    if Check.passed r then `Ok () else `Error (false, "check failed")
+
+let random_cmd_run name rows cols samples seed pb cap stop_at_first domains =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter ->
+    let config = config_of ~pb ~cap ~classic:false in
+    let report =
+      if domains > 1 then
+        Random_check.run_parallel ~config ~domains ~seed
+          ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter
+      else
+        Random_check.run ~config ~stop_at_first
+          ~rng:(Random.State.make [| seed |])
+          ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter
+    in
+    Fmt.pr "%d tests: %d passed, %d failed@." (List.length report.Random_check.outcomes)
+      report.Random_check.passed report.Random_check.failed;
+    (match report.Random_check.first_failure with
+     | Some o ->
+       Fmt.pr "@.first failing test:@.%s@."
+         (Report.check_result_to_string ~adapter ~test:o.Random_check.test o.Random_check.result)
+     | None -> ());
+    if report.Random_check.failed = 0 then `Ok () else `Error (false, "violations found")
+
+let auto_cmd_run name max_tests pb cap =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter -> (
+    match Auto_check.run ~config:(config_of ~pb ~cap ~classic:false) ~max_tests adapter with
+    | Auto_check.Failed { test; result; tests_run } ->
+      Fmt.pr "FAIL after %d tests@.%s@." tests_run
+        (Report.check_result_to_string ~adapter ~test result);
+      `Error (false, "violation found")
+    | Auto_check.Budget_exhausted { tests_run } ->
+      Fmt.pr "no violation in %d tests@." tests_run;
+      `Ok ())
+
+let observe_cmd_run name columns output =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter ->
+    let test = Test_matrix.make (List.map parse_column columns) in
+    let r = Check.run ~config:{ Check.default_config with phase2 = { Explore.serial_config with max_executions = Some 0 } } adapter test in
+    let xml = Observation_file.to_string r.Check.observation in
+    (match output with
+     | Some path ->
+       Observation_file.save ~path r.Check.observation;
+       Fmt.pr "wrote %d serial histories to %s@." r.Check.phase1.Check.histories path
+     | None -> Fmt.pr "%s@." xml);
+    `Ok ()
+
+let minimize_cmd_run name columns pb =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter -> (
+    let test = Test_matrix.make (List.map parse_column columns) in
+    let config = config_of ~pb ~cap:None ~classic:false in
+    match Minimize.reduce ~config adapter test with
+    | r ->
+      Fmt.pr "minimal failing test (%d checks spent):@.%a@.%s@." r.Minimize.checks_spent
+        Test_matrix.pp r.Minimize.test
+        (Report.summary r.Minimize.check);
+      `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg))
+
+let compare_cmd_run name columns =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter ->
+    let test = Test_matrix.make (List.map parse_column columns) in
+    let races = Checkers.Race_detector.run ~adapter ~test () in
+    Fmt.pr "data races: %d@." (List.length races);
+    List.iter (fun r -> Fmt.pr "  %a@." Checkers.Race_detector.pp_race r) races;
+    let report = Checkers.Serializability.run ~adapter ~test () in
+    Fmt.pr "conflict-serializability: %d of %d executions violate@."
+      report.Checkers.Serializability.violations report.Checkers.Serializability.executions;
+    let lineup = Check.run adapter test in
+    Fmt.pr "line-up: %s@." (Report.summary lineup);
+    `Ok ()
+
+(* Repro: run every registered defect's targeted regression test and
+   compare against the expected verdict — the §5.1 regression workflow. *)
+let repro_targets =
+  [
+    "A", "ManualResetEvent (Pre: lost signal)", [ "Wait" ], [ "Set" ];
+    "A'", "ManualResetEvent (Pre: CAS typo)", [ "Wait"; "IsSet" ], [ "Set"; "Reset" ];
+    ( "B",
+      "ConcurrentQueue (Pre: timed lock in TryDequeue)",
+      [ "Enqueue(200)"; "Enqueue(400)" ],
+      [ "TryDequeue"; "TryDequeue" ] );
+    "C", "SemaphoreSlim (Pre: unlocked release)", [ "Release" ], [ "Release" ];
+    "D", "CountdownEvent (Pre: racy signal)", [ "Signal" ], [ "Signal" ];
+    ( "E",
+      "ConcurrentStack (Pre: non-atomic TryPopRange)",
+      [ "Push(1)"; "Push(2)" ],
+      [ "TryPopRange(2)" ] );
+    "F", "LazyInit (Pre: early publish)", [ "Value" ], [ "Value" ];
+    ( "G",
+      "TaskCompletionSource (Pre: racy TrySetResult)",
+      [ "TrySetResult(10)" ],
+      [ "TrySetResult(20)" ] );
+    "H", "ConcurrentBag", [ "Add(10)"; "Add(20)" ], [ "TryTake" ];
+    "I+J", "BlockingCollection (segmented)", [ "Add(200)"; "Add(400)" ], [ "Count" ];
+    "K", "CancellationTokenSource", [ "Cancel" ], [ "IsCancellationRequested" ];
+    "L", "Barrier", [ "SignalAndWait" ], [ "SignalAndWait" ];
+    "M", "ReaderWriterLockSlim (Pre: racy EnterRead)", [ "EnterRead" ], [ "EnterRead"; "CurrentReadCount" ];
+    "O", "ConcurrentDictionary (Pre: non-atomic Clear)", [ "TryAdd(10)"; "TryAdd(20)"; "Clear" ], [ "Count" ];
+  ]
+
+let repro_cmd_run which =
+  let selected =
+    match which with
+    | None -> repro_targets
+    | Some id -> List.filter (fun (i, _, _, _) -> String.equal i id) repro_targets
+  in
+  if selected = [] then `Error (false, "unknown root cause id")
+  else begin
+    let all_ok = ref true in
+    List.iter
+      (fun (id, name, col1, col2) ->
+        let adapter = (Conc.Registry.find name).Conc.Registry.adapter in
+        let test =
+          Test_matrix.make [ List.map parse_invocation col1; List.map parse_invocation col2 ]
+        in
+        let r = Check.run adapter test in
+        let ok = not (Check.passed r) in
+        if not ok then all_ok := false;
+        Fmt.pr "%-5s %-50s %s %s@." id name
+          (if ok then "reproduced:" else "NOT REPRODUCED:")
+          (Report.summary r))
+      selected;
+    if !all_ok then `Ok () else `Error (false, "some defects did not reproduce")
+  end
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CLASS" ~doc:"Adapter name (see $(b,list)).")
+
+let columns_arg =
+  Arg.(
+    non_empty & pos_right 0 string []
+    & info [] ~docv:"COLUMN"
+        ~doc:
+          "One test column (thread) per argument; operations comma-separated, e.g. \
+           'Enqueue(200),TryDequeue'.")
+
+let pb_arg =
+  Arg.(value & opt int 2 & info [ "p"; "preemption-bound" ] ~doc:"Preemption bound for phase 2.")
+
+let cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-executions" ] ~doc:"Cap on phase-2 executions per test.")
+
+let classic_arg =
+  Arg.(
+    value & flag
+    & info [ "classic" ]
+        ~doc:"Check classic linearizability only (Definition 1; skip stuck-history checking).")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report output.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~doc:"Cache phase-1 observation files in this directory (Fig. 7 XML; reused across runs).")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the implementations under test")
+    Term.(ret (const list_entries $ const ()))
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the two-phase Check(X, m) on an explicit test matrix")
+    Term.(
+      ret
+        (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
+         $ verbose_arg $ cache_dir_arg))
+
+let random_cmd =
+  let rows = Arg.(value & opt int 3 & info [ "rows" ] ~doc:"Operations per thread.") in
+  let cols = Arg.(value & opt int 3 & info [ "cols" ] ~doc:"Number of threads.") in
+  let samples = Arg.(value & opt int 100 & info [ "n"; "samples" ] ~doc:"Sample size.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let stop = Arg.(value & flag & info [ "stop-at-first" ] ~doc:"Stop at the first failure.") in
+  let domains =
+    Arg.(value & opt int 1 & info [ "j"; "domains" ] ~doc:"Distribute the sample over N domains.")
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"RandomCheck: check a uniform random sample of tests (Fig. 8)")
+    Term.(
+      ret
+        (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg $ stop
+         $ domains))
+
+let auto_cmd =
+  let max_tests =
+    Arg.(value & opt int 1000 & info [ "max-tests" ] ~doc:"Budget of Check invocations.")
+  in
+  Cmd.v
+    (Cmd.info "auto" ~doc:"AutoCheck: systematic test enumeration (Fig. 6)")
+    Term.(ret (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg))
+
+let observe_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Observation file path.")
+  in
+  Cmd.v
+    (Cmd.info "observe" ~doc:"Run phase 1 only and emit the observation file (Fig. 7)")
+    Term.(ret (const observe_cmd_run $ name_arg $ columns_arg $ output))
+
+let minimize_cmd =
+  Cmd.v
+    (Cmd.info "minimize" ~doc:"Shrink a failing test matrix to a local minimum")
+    Term.(ret (const minimize_cmd_run $ name_arg $ columns_arg $ pb_arg))
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run the comparison checkers of §5.6 (race detection, serializability) plus Line-Up")
+    Term.(ret (const compare_cmd_run $ name_arg $ columns_arg))
+
+let repro_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Root cause id (A, B, ... O); all when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:"Reproduce the registered root causes on their minimal regression tests (§5.1)")
+    Term.(ret (const repro_cmd_run $ which))
+
+let main =
+  Cmd.group
+    (Cmd.info "lineup" ~version:"1.0.0"
+       ~doc:"A complete and automatic linearizability checker (PLDI 2010 reproduction)")
+    [ list_cmd; check_cmd; random_cmd; auto_cmd; observe_cmd; minimize_cmd; compare_cmd; repro_cmd ]
+
+let () = exit (Cmd.eval main)

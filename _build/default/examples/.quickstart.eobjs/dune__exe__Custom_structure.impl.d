@@ -1,0 +1,1 @@
+examples/custom_structure.ml: Adapter Array Check Fmt Lineup Lineup_history Lineup_runtime Lineup_value List Random Random_check Report Test_matrix

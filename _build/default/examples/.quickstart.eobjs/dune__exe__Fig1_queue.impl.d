@@ -1,0 +1,1 @@
+examples/fig1_queue.ml: Check Fmt Lineup Lineup_conc Lineup_history Lineup_value Minimize Report Test_matrix

@@ -1,0 +1,1 @@
+examples/fig1_queue.mli:

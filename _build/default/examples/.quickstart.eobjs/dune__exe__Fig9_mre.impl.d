@@ -1,0 +1,1 @@
+examples/fig9_mre.ml: Check Fmt Lineup Lineup_conc Lineup_history Report Test_matrix

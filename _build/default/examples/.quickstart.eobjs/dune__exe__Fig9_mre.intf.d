@@ -1,0 +1,1 @@
+examples/fig9_mre.mli:

@@ -1,0 +1,1 @@
+examples/observation_explorer.ml: Check Fmt Lineup Lineup_conc Lineup_history Lineup_value List Observation Observation_file Report Test_matrix

@@ -1,0 +1,1 @@
+examples/observation_explorer.mli:

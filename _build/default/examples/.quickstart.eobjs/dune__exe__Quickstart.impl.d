@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adapter Check Fmt Lineup Lineup_history Lineup_runtime Lineup_value Report Test_matrix

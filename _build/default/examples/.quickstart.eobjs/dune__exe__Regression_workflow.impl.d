@@ -1,0 +1,1 @@
+examples/regression_workflow.ml: Array Check Filename Fmt Lineup Lineup_conc Lineup_history Lineup_value Obs_cache Observation Report Sys Test_matrix

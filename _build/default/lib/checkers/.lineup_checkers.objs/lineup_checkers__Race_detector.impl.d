@@ -1,0 +1,1 @@
+lib/checkers/race_detector.ml: Array Fmt Hashtbl Lineup Lineup_runtime Lineup_scheduler List String Vector_clock

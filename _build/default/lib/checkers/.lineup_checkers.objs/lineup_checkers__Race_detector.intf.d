@@ -1,0 +1,1 @@
+lib/checkers/race_detector.mli: Format Lineup Lineup_runtime Lineup_scheduler

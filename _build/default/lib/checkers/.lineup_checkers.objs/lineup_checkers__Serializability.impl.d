@@ -1,0 +1,1 @@
+lib/checkers/serializability.ml: Array Hashtbl Lineup Lineup_runtime Lineup_scheduler List

@@ -1,0 +1,1 @@
+lib/checkers/serializability.mli: Lineup Lineup_runtime Lineup_scheduler

@@ -1,0 +1,1 @@
+lib/checkers/tso_monitor.ml: Array Fmt Hashtbl Lineup Lineup_runtime Lineup_scheduler List Vector_clock

@@ -1,0 +1,1 @@
+lib/checkers/tso_monitor.mli: Format Lineup Lineup_runtime Lineup_scheduler

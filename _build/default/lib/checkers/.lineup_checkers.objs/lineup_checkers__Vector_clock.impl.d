@@ -1,0 +1,1 @@
+lib/checkers/vector_clock.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/checkers/vector_clock.mli: Format

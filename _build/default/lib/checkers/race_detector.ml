@@ -1,0 +1,113 @@
+module Exec_ctx = Lineup_runtime.Exec_ctx
+module Explore = Lineup_scheduler.Explore
+
+type race = {
+  loc_name : string;
+  first : int * Exec_ctx.access_kind;
+  second : int * Exec_ctx.access_kind;
+}
+
+let pp_kind ppf = function
+  | Exec_ctx.Read -> Fmt.string ppf "read"
+  | Exec_ctx.Write -> Fmt.string ppf "write"
+  | Exec_ctx.Rmw -> Fmt.string ppf "rmw"
+
+let pp_race ppf r =
+  let t1, k1 = r.first and t2, k2 = r.second in
+  Fmt.pf ppf "race on %s: T%d %a / T%d %a" r.loc_name t1 pp_kind k1 t2 pp_kind k2
+
+let is_write = function Exec_ctx.Write | Exec_ctx.Rmw -> true | Exec_ctx.Read -> false
+
+type prior_access = {
+  a_tid : int;
+  a_clock : int;
+  a_kind : Exec_ctx.access_kind;
+}
+
+let analyze ~threads log =
+  let vc = Array.init threads (fun _ -> Vector_clock.make ~threads) in
+  Array.iteri (fun i v -> Vector_clock.tick v i) vc;
+  let lock_vc : (int, Vector_clock.t) Hashtbl.t = Hashtbl.create 16 in
+  let vol_vc : (int, Vector_clock.t) Hashtbl.t = Hashtbl.create 16 in
+  (* per plain location: all prior accesses with their clocks *)
+  let accesses : (int, (string * prior_access list) ref) Hashtbl.t = Hashtbl.create 64 in
+  let races = ref [] in
+  let handle_plain tid loc loc_name kind =
+    let slot =
+      match Hashtbl.find_opt accesses loc with
+      | Some s -> s
+      | None ->
+        let s = ref (loc_name, []) in
+        Hashtbl.replace accesses loc s;
+        s
+    in
+    let _, prior = !slot in
+    List.iter
+      (fun p ->
+        if
+          p.a_tid <> tid
+          && (is_write p.a_kind || is_write kind)
+          && not (Vector_clock.happens_before ~clock:p.a_clock ~tid:p.a_tid vc.(tid))
+        then
+          races := { loc_name; first = p.a_tid, p.a_kind; second = tid, kind } :: !races)
+      prior;
+    let mine = { a_tid = tid; a_clock = Vector_clock.get vc.(tid) tid; a_kind = kind } in
+    slot := loc_name, mine :: prior;
+    Vector_clock.tick vc.(tid) tid
+  in
+  let acquire_from table tid key =
+    match Hashtbl.find_opt table key with
+    | Some v -> Vector_clock.join vc.(tid) v
+    | None -> ()
+  in
+  let release_to table tid key =
+    (match Hashtbl.find_opt table key with
+     | Some v -> Vector_clock.join v vc.(tid)
+     | None -> Hashtbl.replace table key (Vector_clock.copy vc.(tid)));
+    Vector_clock.tick vc.(tid) tid
+  in
+  List.iter
+    (fun (entry : Exec_ctx.entry) ->
+      match entry with
+      | Exec_ctx.Access a when a.volatile ->
+        (* volatile read = acquire; volatile write = release; rmw = both *)
+        (match a.kind with
+         | Exec_ctx.Read -> acquire_from vol_vc a.tid a.loc
+         | Exec_ctx.Write -> release_to vol_vc a.tid a.loc
+         | Exec_ctx.Rmw ->
+           acquire_from vol_vc a.tid a.loc;
+           release_to vol_vc a.tid a.loc)
+      | Exec_ctx.Access a -> handle_plain a.tid a.loc a.loc_name a.kind
+      | Exec_ctx.Lock_acquire l -> acquire_from lock_vc l.tid l.lock
+      | Exec_ctx.Lock_release l -> release_to lock_vc l.tid l.lock
+      | Exec_ctx.Op_start _ | Exec_ctx.Op_end _ -> ())
+    log;
+  (* deduplicate by (location, unordered thread pair, kinds) *)
+  let seen = Hashtbl.create 16 in
+  List.rev !races
+  |> List.filter (fun r ->
+         let t1, k1 = r.first and t2, k2 = r.second in
+         let key = r.loc_name, min t1 t2, max t1 t2, k1, k2 in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.replace seen key ();
+           true
+         end)
+
+let run ?(config = Explore.default_config) ~adapter ~test () =
+  Exec_ctx.set_logging true;
+  let races : (string, race) Hashtbl.t = Hashtbl.create 16 in
+  let threads = Lineup.Test_matrix.num_threads test + 1 in
+  let stats_ignored =
+    Lineup.Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
+        List.iter
+          (fun race ->
+            if not (Hashtbl.mem races race.loc_name) then
+              Hashtbl.replace races race.loc_name race)
+          (analyze ~threads r.log);
+        `Continue)
+  in
+  ignore stats_ignored;
+  Exec_ctx.set_logging false;
+  Hashtbl.fold (fun _ r acc -> r :: acc) races []
+  |> List.sort (fun r1 r2 -> String.compare r1.loc_name r2.loc_name)

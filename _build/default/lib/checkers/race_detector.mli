@@ -1,0 +1,32 @@
+(** Happens-before data-race detection — the first comparison checker of
+    Section 5.6 ("we used the happens-before based dynamic race detector
+    included with CHESS").
+
+    Analyzes the access log of one execution. The happens-before relation is
+    induced by program order, lock acquire/release, and volatile accesses
+    (a volatile or interlocked write releases its location, a volatile read
+    acquires it — the disciplined-volatile pattern the paper credits for the
+    low number of races). Two plain accesses to the same location race when
+    they come from different threads, at least one is a write, and neither
+    happens-before the other. *)
+
+type race = {
+  loc_name : string;
+  first : int * Lineup_runtime.Exec_ctx.access_kind;  (** thread, kind *)
+  second : int * Lineup_runtime.Exec_ctx.access_kind;
+}
+
+val pp_race : Format.formatter -> race -> unit
+
+(** Distinct races (by location and thread pair) in one execution log. *)
+val analyze : threads:int -> Lineup_runtime.Exec_ctx.entry list -> race list
+
+(** [run ?config ?max_executions adapter test] explores the test's schedules
+    with access logging enabled and returns the distinct races across all
+    executions (deduplicated by location name). *)
+val run :
+  ?config:Lineup_scheduler.Explore.config ->
+  adapter:Lineup.Adapter.t ->
+  test:Lineup.Test_matrix.t ->
+  unit ->
+  race list

@@ -1,0 +1,112 @@
+module Exec_ctx = Lineup_runtime.Exec_ctx
+module Explore = Lineup_scheduler.Explore
+
+type txn = int * int
+
+type verdict = {
+  serializable : bool;
+  cycle : txn list;
+}
+
+let is_write = function Exec_ctx.Write | Exec_ctx.Rmw -> true | Exec_ctx.Read -> false
+
+(* Accesses annotated with their transaction, in log order. *)
+type access = {
+  txn : txn;
+  loc : int;
+  kind : Exec_ctx.access_kind;
+}
+
+let collect_accesses log =
+  let current : (int, int) Hashtbl.t = Hashtbl.create 7 in
+  (* current op index per thread *)
+  List.filter_map
+    (fun (entry : Exec_ctx.entry) ->
+      match entry with
+      | Exec_ctx.Op_start o ->
+        Hashtbl.replace current o.tid o.op_index;
+        None
+      | Exec_ctx.Op_end o ->
+        Hashtbl.remove current o.tid;
+        ignore o.op_index;
+        None
+      | Exec_ctx.Access a -> (
+        match Hashtbl.find_opt current a.tid with
+        | Some op_index -> Some { txn = a.tid, op_index; loc = a.loc; kind = a.kind }
+        | None -> None (* setup/observer access outside any transaction *))
+      | Exec_ctx.Lock_acquire _ | Exec_ctx.Lock_release _ -> None)
+    log
+
+let analyze log =
+  let accesses = Array.of_list (collect_accesses log) in
+  let n = Array.length accesses in
+  (* conflict edges t1 -> t2 when an access of t1 precedes a conflicting
+     access of t2 in the log *)
+  let edges : (txn, txn list ref) Hashtbl.t = Hashtbl.create 16 in
+  let txns : (txn, unit) Hashtbl.t = Hashtbl.create 16 in
+  let add_edge a b =
+    if a <> b then begin
+      match Hashtbl.find_opt edges a with
+      | Some l -> if not (List.mem b !l) then l := b :: !l
+      | None -> Hashtbl.replace edges a (ref [ b ])
+    end
+  in
+  for i = 0 to n - 1 do
+    Hashtbl.replace txns accesses.(i).txn ();
+    for j = i + 1 to n - 1 do
+      let a = accesses.(i) and b = accesses.(j) in
+      if a.txn <> b.txn && a.loc = b.loc && (is_write a.kind || is_write b.kind) then
+        add_edge a.txn b.txn
+    done
+  done;
+  (* cycle detection by DFS with colors; return a witness cycle *)
+  let color : (txn, [ `Gray | `Black ]) Hashtbl.t = Hashtbl.create 16 in
+  let cycle = ref [] in
+  let rec dfs path t =
+    match Hashtbl.find_opt color t with
+    | Some `Black -> false
+    | Some `Gray ->
+      (* found a cycle: [path] is most-recent-first and starts with [t];
+         the cycle is t followed by the nodes back to t's earlier
+         occurrence *)
+      let rec upto = function
+        | [] -> []
+        | x :: rest -> if x = t then [ x ] else x :: upto rest
+      in
+      (match path with
+       | [] -> cycle := [ t ]
+       | _ :: rest -> cycle := List.rev (upto rest));
+      true
+    | None ->
+      Hashtbl.replace color t `Gray;
+      let succs = match Hashtbl.find_opt edges t with Some l -> !l | None -> [] in
+      let found = List.exists (fun s -> dfs (s :: path) s) succs in
+      if not found then Hashtbl.replace color t `Black;
+      found
+  in
+  let found = Hashtbl.fold (fun t () acc -> acc || dfs [ t ] t) txns false in
+  { serializable = not found; cycle = !cycle }
+
+type report = {
+  executions : int;
+  violations : int;
+  sample : txn list;
+}
+
+let run ?(config = Explore.default_config) ~adapter ~test () =
+  Exec_ctx.set_logging true;
+  let executions = ref 0 in
+  let violations = ref 0 in
+  let sample = ref [] in
+  let _stats =
+    Lineup.Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
+        incr executions;
+        let v = analyze r.log in
+        if not v.serializable then begin
+          incr violations;
+          if !sample = [] then sample := v.cycle
+        end;
+        `Continue)
+  in
+  Exec_ctx.set_logging false;
+  { executions = !executions; violations = !violations; sample = !sample }

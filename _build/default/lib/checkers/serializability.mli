@@ -1,0 +1,36 @@
+(** Conflict-serializability (atomicity) monitoring — the second comparison
+    checker of Section 5.6 ("we implemented the algorithm described in
+    [Farzan & Madhusudan, CAV 2008], which checks whether a given dynamic
+    execution is conflict-serializable").
+
+    Each operation of the test (the span between its call and return) is a
+    transaction. Two accesses conflict when they touch the same location
+    from different transactions and at least one writes (volatile and
+    interlocked accesses included — precisely those produce the paper's
+    false alarms on lock-free code). An execution is conflict-serializable
+    iff the conflict graph over transactions is acyclic. *)
+
+type txn = int * int  (** thread id, operation index *)
+
+type verdict = {
+  serializable : bool;
+  cycle : txn list;  (** a witness cycle when not serializable *)
+}
+
+val analyze : Lineup_runtime.Exec_ctx.entry list -> verdict
+
+type report = {
+  executions : int;
+  violations : int;  (** executions with a conflict-graph cycle *)
+  sample : txn list;  (** a sample cycle from the first violation *)
+}
+
+(** [run ?config adapter test] explores the test with logging enabled and
+    counts non-serializable executions — the "hundreds of warnings" the
+    paper reports on perfectly correct implementations. *)
+val run :
+  ?config:Lineup_scheduler.Explore.config ->
+  adapter:Lineup.Adapter.t ->
+  test:Lineup.Test_matrix.t ->
+  unit ->
+  report

@@ -1,0 +1,174 @@
+module Exec_ctx = Lineup_runtime.Exec_ctx
+module Explore = Lineup_scheduler.Explore
+
+type report = {
+  x_name : string;
+  y_name : string;
+  t1 : int;
+  t2 : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "store-buffering on (%s, %s) between T%d and T%d" r.x_name r.y_name r.t1 r.t2
+
+(* An annotated access: thread, location, kind, the thread's vector clock
+   at the access (for concurrency tests), and its per-thread sequence
+   number (for program order). *)
+type acc = {
+  a_tid : int;
+  a_loc : int;
+  a_loc_name : string;
+  a_write : bool;
+  a_read : bool;
+  a_vc : Vector_clock.t;  (** snapshot *)
+  a_clock : int;  (** own component at the access *)
+  a_seq : int;
+}
+
+(* A store-buffer window: a bufferable store followed in program order by a
+   load of a different location, with no fence in between. *)
+type window = {
+  st : acc;
+  ld : acc;
+}
+
+let analyze ~threads log =
+  (* First pass: compute vector clocks exactly as the race detector does,
+     and collect per-thread access streams with fence markers. *)
+  let vc = Array.init threads (fun _ -> Vector_clock.make ~threads) in
+  Array.iteri (fun i v -> Vector_clock.tick v i) vc;
+  let lock_vc : (int, Vector_clock.t) Hashtbl.t = Hashtbl.create 16 in
+  let vol_vc : (int, Vector_clock.t) Hashtbl.t = Hashtbl.create 16 in
+  let seq = Array.make threads 0 in
+  let streams : (int * [ `Acc of acc | `Fence ]) list ref = ref [] in
+  let next_seq tid =
+    let s = seq.(tid) in
+    seq.(tid) <- s + 1;
+    s
+  in
+  let push tid ev = streams := (tid, ev) :: !streams in
+  let record_access tid loc loc_name kind =
+    let a =
+      {
+        a_tid = tid;
+        a_loc = loc;
+        a_loc_name = loc_name;
+        a_write = (match kind with Exec_ctx.Write | Exec_ctx.Rmw -> true | Exec_ctx.Read -> false);
+        a_read = (match kind with Exec_ctx.Read | Exec_ctx.Rmw -> true | Exec_ctx.Write -> false);
+        a_vc = Vector_clock.copy vc.(tid);
+        a_clock = Vector_clock.get vc.(tid) tid;
+        a_seq = next_seq tid;
+      }
+    in
+    push tid (`Acc a);
+    Vector_clock.tick vc.(tid) tid
+  in
+  let acquire_from table tid key =
+    match Hashtbl.find_opt table key with
+    | Some v -> Vector_clock.join vc.(tid) v
+    | None -> ()
+  in
+  let release_to table tid key =
+    (match Hashtbl.find_opt table key with
+     | Some v -> Vector_clock.join v vc.(tid)
+     | None -> Hashtbl.replace table key (Vector_clock.copy vc.(tid)));
+    Vector_clock.tick vc.(tid) tid
+  in
+  List.iter
+    (fun (entry : Exec_ctx.entry) ->
+      match entry with
+      | Exec_ctx.Access a ->
+        (* Only locks and interlocked operations contribute to the
+           happens-before used for the concurrency test: ordering induced
+           by plain or volatile loads/stores is exactly what store
+           buffering may break, so counting it would mask the pattern
+           (the observed execution always orders the accesses it
+           performed). Interlocked operations also flush the buffer. *)
+        (match a.kind with
+         | Exec_ctx.Rmw ->
+           acquire_from vol_vc a.tid a.loc;
+           record_access a.tid a.loc a.loc_name a.kind;
+           release_to vol_vc a.tid a.loc;
+           push a.tid `Fence
+         | Exec_ctx.Read | Exec_ctx.Write -> record_access a.tid a.loc a.loc_name a.kind)
+      | Exec_ctx.Lock_acquire l ->
+        acquire_from lock_vc l.tid l.lock;
+        push l.tid `Fence
+      | Exec_ctx.Lock_release l ->
+        release_to lock_vc l.tid l.lock;
+        push l.tid `Fence
+      | Exec_ctx.Op_start _ | Exec_ctx.Op_end _ -> ())
+    log;
+  let streams = List.rev !streams in
+  (* Second pass: per-thread store-buffer windows. *)
+  let windows = Array.make threads [] in
+  let pending_stores = Array.make threads [] in
+  (* stores not yet fenced *)
+  List.iter
+    (fun (tid, ev) ->
+      match ev with
+      | `Fence -> pending_stores.(tid) <- []
+      | `Acc a ->
+        if a.a_read then
+          List.iter
+            (fun st ->
+              if st.a_loc <> a.a_loc then windows.(tid) <- { st; ld = a } :: windows.(tid))
+            pending_stores.(tid);
+        if a.a_write then pending_stores.(tid) <- a :: pending_stores.(tid))
+    streams;
+  (* Third pass: crossed concurrent windows. *)
+  let concurrent a b =
+    (not (Vector_clock.happens_before ~clock:a.a_clock ~tid:a.a_tid b.a_vc))
+    && not (Vector_clock.happens_before ~clock:b.a_clock ~tid:b.a_tid a.a_vc)
+  in
+  let reports = ref [] in
+  for t1 = 0 to threads - 1 do
+    for t2 = t1 + 1 to threads - 1 do
+      List.iter
+        (fun w1 ->
+          List.iter
+            (fun w2 ->
+              if
+                w1.st.a_loc = w2.ld.a_loc
+                && w1.ld.a_loc = w2.st.a_loc
+                && concurrent w1.st w2.ld
+                && concurrent w2.st w1.ld
+              then
+                reports :=
+                  {
+                    x_name = w1.st.a_loc_name;
+                    y_name = w1.ld.a_loc_name;
+                    t1;
+                    t2;
+                  }
+                  :: !reports)
+            windows.(t2))
+        windows.(t1)
+    done
+  done;
+  (* dedup *)
+  let seen = Hashtbl.create 8 in
+  List.rev !reports
+  |> List.filter (fun r ->
+         let key = r.x_name, r.y_name, r.t1, r.t2 in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.replace seen key ();
+           true
+         end)
+
+let run ?(config = Explore.default_config) ~adapter ~test () =
+  Exec_ctx.set_logging true;
+  let found : (string * string * int * int, report) Hashtbl.t = Hashtbl.create 8 in
+  let threads = Lineup.Test_matrix.num_threads test + 1 in
+  let _ =
+    Lineup.Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
+        List.iter
+          (fun rep ->
+            let key = rep.x_name, rep.y_name, rep.t1, rep.t2 in
+            if not (Hashtbl.mem found key) then Hashtbl.replace found key rep)
+          (analyze ~threads r.log);
+        `Continue)
+  in
+  Exec_ctx.set_logging false;
+  Hashtbl.fold (fun _ r acc -> r :: acc) found []

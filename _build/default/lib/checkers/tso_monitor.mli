@@ -1,0 +1,43 @@
+(** Potential sequential-consistency violations under store buffering —
+    the §5.7 check.
+
+    The paper: "the CHESS model checker does not directly enumerate the
+    relaxed behaviors of the target architecture; instead it checks for
+    potential violations of sequential consistency using a special
+    algorithm similar to data race detection [Burckhardt & Musuvathi,
+    CAV 2008]. We thus used this technique, but did not find any such
+    issues in the studied implementations."
+
+    This module is a conservative pattern detector in that spirit: it flags
+    the store-buffering litmus shape (Dekker), the canonical way TSO
+    hardware breaks sequential consistency. A {e window} is a store to [x]
+    followed in program order by a load of [y ≠ x] with no intervening
+    fence (read-modify-write / interlocked operation, or lock
+    acquire/release — the operations that flush the store buffer; plain and
+    volatile stores are bufferable, as on x86/.NET, where only interlocked
+    operations and full barriers order a store before a later load).
+    Two {e concurrent} windows in different threads with crossed locations
+    — [(st x, ld y)] in one thread, [(st y, ld x)] in the other, neither
+    ordered by happens-before — mean both loads could read the pre-store
+    values under TSO, an outcome no interleaving allows. *)
+
+type report = {
+  x_name : string;  (** first contended location *)
+  y_name : string;  (** second contended location *)
+  t1 : int;
+  t2 : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Distinct store-buffering patterns in one execution's access log. *)
+val analyze : threads:int -> Lineup_runtime.Exec_ctx.entry list -> report list
+
+(** Explore the test's schedules with logging on; distinct patterns across
+    all executions. *)
+val run :
+  ?config:Lineup_scheduler.Explore.config ->
+  adapter:Lineup.Adapter.t ->
+  test:Lineup.Test_matrix.t ->
+  unit ->
+  report list

@@ -1,0 +1,14 @@
+type t = int array
+
+let make ~threads = Array.make threads 0
+let copy = Array.copy
+let get vc tid = vc.(tid)
+let tick vc tid = vc.(tid) <- vc.(tid) + 1
+
+let join dst src =
+  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+
+let happens_before ~clock ~tid vc = clock <= vc.(tid)
+
+let pp ppf vc =
+  Fmt.pf ppf "<%a>" (Fmt.array ~sep:(Fmt.any ",") Fmt.int) vc

@@ -1,0 +1,18 @@
+(** Vector clocks over a fixed set of threads. *)
+
+type t
+
+val make : threads:int -> t
+val copy : t -> t
+val get : t -> int -> int
+val tick : t -> int -> unit
+
+(** [join dst src] — pointwise maximum, into [dst]. *)
+val join : t -> t -> unit
+
+(** [happens_before ~clock ~tid vc] — did the event of thread [tid] at local
+    time [clock] happen before the point described by [vc]? (The standard
+    epoch test [clock <= vc.(tid)].) *)
+val happens_before : clock:int -> tid:int -> t -> bool
+
+val pp : Format.formatter -> t -> unit

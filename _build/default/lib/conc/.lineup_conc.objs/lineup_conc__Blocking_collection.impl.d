@@ -1,0 +1,1 @@
+lib/conc/blocking_collection.ml: Array Fmt Fun Lineup Lineup_history Lineup_runtime Lineup_value List Option Util

@@ -1,0 +1,1 @@
+lib/conc/blocking_collection.mli: Lineup

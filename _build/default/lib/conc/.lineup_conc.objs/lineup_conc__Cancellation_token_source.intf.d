@@ -1,0 +1,1 @@
+lib/conc/cancellation_token_source.mli: Lineup

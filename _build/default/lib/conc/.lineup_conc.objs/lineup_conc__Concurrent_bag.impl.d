@@ -1,0 +1,1 @@
+lib/conc/concurrent_bag.ml: Array Fmt Fun Lineup Lineup_history Lineup_runtime Lineup_value List Util

@@ -1,0 +1,1 @@
+lib/conc/concurrent_bag.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/concurrent_dictionary.ml: Array Fmt Lineup Lineup_history Lineup_runtime Lineup_value List Util

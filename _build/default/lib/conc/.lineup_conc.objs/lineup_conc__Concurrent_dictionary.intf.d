@@ -1,0 +1,1 @@
+lib/conc/concurrent_dictionary.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/concurrent_linked_list.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/concurrent_queue.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/concurrent_stack.ml: Lineup Lineup_history Lineup_runtime Lineup_value List Util

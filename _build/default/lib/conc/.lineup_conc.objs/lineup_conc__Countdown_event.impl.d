@@ -1,0 +1,1 @@
+lib/conc/countdown_event.ml: Lineup Lineup_history Lineup_runtime Lineup_value Util

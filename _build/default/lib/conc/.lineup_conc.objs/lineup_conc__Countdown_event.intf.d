@@ -1,0 +1,1 @@
+lib/conc/countdown_event.mli: Lineup

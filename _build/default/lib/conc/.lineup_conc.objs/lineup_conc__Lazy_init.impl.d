@@ -1,0 +1,1 @@
+lib/conc/lazy_init.ml: Lineup Lineup_history Lineup_runtime Lineup_value Util

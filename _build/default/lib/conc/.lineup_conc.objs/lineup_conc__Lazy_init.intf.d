@@ -1,0 +1,1 @@
+lib/conc/lazy_init.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/lazy_list_set.ml: Fmt Lineup Lineup_history Lineup_runtime Lineup_value Util

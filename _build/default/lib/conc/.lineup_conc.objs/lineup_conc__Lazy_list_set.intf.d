@@ -1,0 +1,1 @@
+lib/conc/lazy_list_set.mli: Lineup

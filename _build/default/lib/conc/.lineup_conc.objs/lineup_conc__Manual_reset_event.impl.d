@@ -1,0 +1,1 @@
+lib/conc/manual_reset_event.ml: Lineup Lineup_history Lineup_runtime Lineup_value Util

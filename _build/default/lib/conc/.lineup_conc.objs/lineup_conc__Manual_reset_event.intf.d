@@ -1,0 +1,1 @@
+lib/conc/manual_reset_event.mli: Lineup

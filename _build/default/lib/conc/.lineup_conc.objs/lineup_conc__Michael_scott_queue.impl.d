@@ -1,0 +1,1 @@
+lib/conc/michael_scott_queue.ml: Lineup Lineup_history Lineup_runtime Lineup_value Option Util

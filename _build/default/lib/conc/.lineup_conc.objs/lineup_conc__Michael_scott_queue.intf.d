@@ -1,0 +1,1 @@
+lib/conc/michael_scott_queue.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/registry.mli: Lineup

@@ -1,0 +1,1 @@
+lib/conc/rw_lock.ml: Lineup Lineup_history Lineup_runtime Lineup_value Option Util

@@ -1,0 +1,1 @@
+lib/conc/rw_lock.mli: Lineup

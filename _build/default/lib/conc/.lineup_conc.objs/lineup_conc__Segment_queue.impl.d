@@ -1,0 +1,1 @@
+lib/conc/segment_queue.ml: Array Fmt Lineup Lineup_history Lineup_runtime Lineup_value Option Util

@@ -1,0 +1,1 @@
+lib/conc/segment_queue.mli: Lineup

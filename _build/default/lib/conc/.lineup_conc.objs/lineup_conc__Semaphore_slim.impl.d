@@ -1,0 +1,1 @@
+lib/conc/semaphore_slim.ml: Lineup Lineup_history Lineup_runtime Lineup_value Util

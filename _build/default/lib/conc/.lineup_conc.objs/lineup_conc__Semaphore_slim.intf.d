@@ -1,0 +1,1 @@
+lib/conc/semaphore_slim.mli: Lineup

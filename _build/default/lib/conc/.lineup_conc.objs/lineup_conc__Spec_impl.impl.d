@@ -1,0 +1,1 @@
+lib/conc/spec_impl.ml: Lineup Lineup_runtime Lineup_spec Option

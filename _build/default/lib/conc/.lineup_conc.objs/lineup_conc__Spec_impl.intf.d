@@ -1,0 +1,1 @@
+lib/conc/spec_impl.mli: Lineup Lineup_history Lineup_spec

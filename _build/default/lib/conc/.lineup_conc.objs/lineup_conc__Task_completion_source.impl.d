@@ -1,0 +1,1 @@
+lib/conc/task_completion_source.ml: Lineup Lineup_history Lineup_runtime Lineup_value Util

@@ -1,0 +1,1 @@
+lib/conc/task_completion_source.mli: Lineup

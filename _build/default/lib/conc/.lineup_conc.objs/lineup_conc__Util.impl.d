@@ -1,0 +1,1 @@
+lib/conc/util.ml: Fmt Lineup_history Lineup_value

@@ -1,0 +1,72 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+module Rt = Lineup_runtime.Rt
+open Util
+
+let participants_initial = 2
+
+let universe =
+  [
+    inv "SignalAndWait";
+    inv "ParticipantCount";
+    inv "ParticipantsRemaining";
+    inv "CurrentPhaseNumber";
+    inv "AddParticipant";
+    inv "RemoveParticipant";
+  ]
+
+let adapter =
+  let create () =
+    let lock = Mutex_.create ~name:"barrier.lock" () in
+    let participants = Var.make ~name:"barrier.participants" participants_initial in
+    let arrived = Var.make ~name:"barrier.arrived" 0 in
+    let phase = Var.make ~volatile:true ~name:"barrier.phase" 0 in
+    let signal_and_wait () =
+      Mutex_.acquire lock;
+      let my_phase = Var.read phase in
+      let a = Var.read arrived + 1 in
+      if a >= Var.read participants then begin
+        (* last arrival: advance the phase, releasing everyone *)
+        Var.write arrived 0;
+        Var.write phase (my_phase + 1);
+        Mutex_.release lock
+      end
+      else begin
+        Var.write arrived a;
+        Mutex_.release lock;
+        Rt.block ~wake:(fun () -> Var.peek phase > my_phase) "barrier phase advance"
+      end;
+      Value.int my_phase
+    in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "SignalAndWait", Value.Unit -> signal_and_wait ()
+      | "ParticipantCount", Value.Unit -> Value.int (Var.read participants)
+      | "ParticipantsRemaining", Value.Unit ->
+        Mutex_.with_lock lock (fun () ->
+            Value.int (Var.read participants - Var.read arrived))
+      | "CurrentPhaseNumber", Value.Unit -> Value.int (Var.read phase)
+      | "AddParticipant", Value.Unit ->
+        Mutex_.with_lock lock (fun () ->
+            Var.write participants (Var.read participants + 1);
+            Value.unit)
+      | "RemoveParticipant", Value.Unit ->
+        Mutex_.with_lock lock (fun () ->
+            let p = Var.read participants in
+            if p <= 0 then Value.Fail
+            else begin
+              Var.write participants (p - 1);
+              (* removing a participant can complete the current phase *)
+              if Var.read arrived >= p - 1 && p - 1 > 0 then begin
+                Var.write arrived 0;
+                Var.write phase (Var.read phase + 1)
+              end;
+              Value.unit
+            end)
+      | _ -> unexpected "Barrier" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name:"Barrier" ~universe create

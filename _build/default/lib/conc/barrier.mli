@@ -1,0 +1,13 @@
+(** Barrier (Table 1), with 2 initial participants: [SignalAndWait] (blocks
+    until all participants arrive, then advances the phase),
+    [ParticipantCount], [ParticipantsRemaining], [CurrentPhaseNumber],
+    [AddParticipant], [RemoveParticipant].
+
+    Root cause L — the paper's "classic example of a nonlinearizable class":
+    [SignalAndWait] blocks every thread until all threads have entered, a
+    behavior equivalent to no serial execution. Under Line-Up, phase 1
+    records only stuck serial histories for tests with several
+    [SignalAndWait]s (serially the first one blocks alone), so any
+    concurrent execution where they all complete has no witness. *)
+
+val adapter : Lineup.Adapter.t

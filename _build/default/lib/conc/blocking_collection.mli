@@ -1,0 +1,28 @@
+(** BlockingCollection (Table 1): [Add(x)] ([Fail] after adding completed),
+    [Take] (blocks while empty), [TryAdd(x)], [TryTake], [Count],
+    [ToArray], [CompleteAdding], [IsCompleted], [IsAddingCompleted].
+
+    Two variants:
+
+    - {!fifo}: a single lock-protected FIFO — fully linearizable, used for
+      the Fig. 7 observation-file example (Add/Take/TryTake on a FIFO
+      queue) and as the known-good blocking subject.
+
+    - {!segmented}: per-thread segments with skip-on-busy scans, as .NET's
+      BlockingCollection inherits from its underlying
+      IProducerConsumerCollection. This variant exhibits the paper's two
+      intentional nondeterminisms: [Count] may return 0 on a non-empty
+      collection (root cause I — its scan skips segments whose lock is
+      busy) and [TryTake] may fail on a non-empty collection (root cause J
+      — same skip during stealing). [Take] scans with full acquisition and
+      re-checks, so it never misses. The .NET developers kept both
+      behaviors and changed the documentation. *)
+
+val fifo : Lineup.Adapter.t
+
+(** A capacity-1 variant: [Add] {e blocks} while the collection is full
+    ([TryAdd] fails instead), exercising producer-side blocking — more
+    stuck-history coverage for the generalized check. *)
+val fifo_bounded : Lineup.Adapter.t
+
+val segmented : Lineup.Adapter.t

@@ -1,0 +1,33 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Rt = Lineup_runtime.Rt
+open Util
+
+let universe = [ inv "Cancel"; inv "IsCancellationRequested"; inv "CanBeCanceled" ]
+
+let adapter =
+  let create () =
+    let pending = Var.make ~volatile:true ~name:"cts.pending" false in
+    let cancelled = Var.make ~volatile:true ~name:"cts.cancelled" false in
+    (* The asynchronous callback: any operation that touches the source
+       first drains a pending cancellation. *)
+    let drain () = if Var.read pending then Var.write cancelled true in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "Cancel", Value.Unit ->
+        Var.write pending true;
+        (* the callback may or may not have run by the time Cancel returns *)
+        if Rt.choose ~what:"cancel callback scheduled synchronously" 2 = 1 then
+          Var.write cancelled true;
+        Value.unit
+      | "IsCancellationRequested", Value.Unit ->
+        let v = Var.read cancelled in
+        drain ();
+        Value.bool v
+      | "CanBeCanceled", Value.Unit -> Value.bool true
+      | _ -> unexpected "CancellationTokenSource" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name:"CancellationTokenSource" ~universe create

@@ -1,0 +1,15 @@
+(** CancellationTokenSource (Table 1): [Cancel], [IsCancellationRequested],
+    [CanBeCanceled].
+
+    Root cause K — intentional nonlinearizability: the effects of [Cancel]
+    (running the registered callbacks that flip the observable cancellation
+    state) can land {e after} [Cancel] has returned. We model the
+    asynchronous callback with a demonic choice inside [Cancel]: the flip
+    may or may not have happened by the time it returns (it certainly
+    happens before any later operation observes the source). Because the
+    choice is explored in phase 1 as well, Line-Up reports this class as
+    {e nondeterministic} (Fig. 5, line 4) — no deterministic sequential
+    specification exists, which is how an asynchronous method surfaces in
+    the tool. *)
+
+val adapter : Lineup.Adapter.t

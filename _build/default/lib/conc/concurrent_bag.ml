@@ -1,0 +1,73 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+module Rt = Lineup_runtime.Rt
+open Util
+
+let max_threads = 4
+
+let universe =
+  [ inv_int "Add" 10; inv_int "Add" 20; inv "TryTake"; inv "TryPeek"; inv "Count"; inv "IsEmpty"; inv "ToArray" ]
+
+let adapter =
+  let create () =
+    let segments =
+      Array.init max_threads (fun i -> Var.make ~name:(Fmt.str "bag.seg%d" i) [])
+    in
+    let locks = Array.init max_threads (fun i -> Mutex_.create ~name:(Fmt.str "bag.lock%d" i) ()) in
+    let own () = Rt.self () mod max_threads in
+    let scan_order () =
+      let me = own () in
+      me :: List.filter (fun j -> j <> me) (List.init max_threads Fun.id)
+    in
+    (* Non-blocking scan: a busy segment is skipped (the intentional
+       nondeterminism of root cause H). *)
+    let rec scan ~remove = function
+      | [] -> Value.Fail
+      | j :: rest ->
+        if Mutex_.try_acquire locks.(j) then begin
+          let r =
+            match Var.read segments.(j) with
+            | [] -> None
+            | x :: tail ->
+              if remove then Var.write segments.(j) tail;
+              Some (Value.int x)
+          in
+          Mutex_.release locks.(j);
+          match r with Some v -> v | None -> scan ~remove rest
+        end
+        else scan ~remove rest
+    in
+    let with_all_locks f =
+      Array.iter Mutex_.acquire locks;
+      let r = f () in
+      Array.iter Mutex_.release locks;
+      r
+    in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "Add", Value.Int x ->
+        let me = own () in
+        Mutex_.with_lock locks.(me) (fun () ->
+            Var.write segments.(me) (x :: Var.read segments.(me)));
+        Value.unit
+      | "TryTake", Value.Unit -> scan ~remove:true (scan_order ())
+      | "TryPeek", Value.Unit -> scan ~remove:false (scan_order ())
+      | "Count", Value.Unit ->
+        with_all_locks (fun () ->
+            Value.int (Array.fold_left (fun acc s -> acc + List.length (Var.read s)) 0 segments))
+      | "IsEmpty", Value.Unit ->
+        with_all_locks (fun () ->
+            Value.bool (Array.for_all (fun s -> Var.read s = []) segments))
+      | "ToArray", Value.Unit ->
+        with_all_locks (fun () ->
+            Value.list
+              (List.concat_map
+                 (fun s -> List.map Value.int (Var.read s))
+                 (Array.to_list segments)))
+      | _ -> unexpected "ConcurrentBag" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name:"ConcurrentBag" ~universe create

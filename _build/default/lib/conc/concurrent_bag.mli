@@ -1,0 +1,22 @@
+(** ConcurrentBag (Table 1): [Add(10)], [Add(20)], [TryTake], [TryPeek],
+    [Count], [IsEmpty], [ToArray].
+
+    An unordered collection with per-thread segments and work stealing, in
+    the style of .NET's implementation. [Add] goes to the calling thread's
+    segment (under that segment's lock); [TryTake]/[TryPeek] use the own
+    segment first, then {e scan} the other segments with a non-blocking
+    [try_acquire]: a segment whose lock is momentarily held by its owner is
+    {e skipped}.
+
+    That skip is root cause H — intentional nondeterminism: a [TryTake] can
+    fail, or return a "surprising" element, although an [Add] completed
+    before it started, because the segment holding the element was busy
+    during the scan. Serially no such behavior exists, so Line-Up reports a
+    violation; the paper's developers classified it as by-design and
+    updated the documentation. [Count]/[IsEmpty]/[ToArray] lock all segments
+    and are exact. *)
+
+val adapter : Lineup.Adapter.t
+
+(** Number of per-thread segments (tests must not use more threads). *)
+val max_threads : int

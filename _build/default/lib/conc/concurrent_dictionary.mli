@@ -1,0 +1,19 @@
+(** ConcurrentDictionary (Table 1), for keys 10 and 20 as in the paper's
+    method list: [TryAdd(k)] (stores [k*100]), [TryRemove(k)], [TryGet(k)],
+    [Get(k)] (the indexer; [Fail] when absent), [Set(k)] (indexer
+    assignment, stores [k*100+1]), [TryUpdate(k)] (increments the stored
+    value when present), [ContainsKey(k)], [Count], [IsEmpty], [Clear].
+
+    Striped locking as in .NET: key operations take the key's stripe lock;
+    whole-table operations ([Count], [IsEmpty], [Clear]) acquire all stripe
+    locks in order.
+
+    - {!adapter}: the known-good subject.
+    - {!pre} (root cause O, a seeded defect in the style of B–G): [Clear]
+      empties the stripes {e one lock at a time} instead of under all
+      locks; a concurrent [Count] can observe a half-cleared table —
+      e.g. 1 on a table that only ever held 0 or 2 entries — which no
+      serial order of the operations allows. *)
+
+val adapter : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,48 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+open Util
+
+let universe =
+  [
+    inv_int "AddFirst" 1;
+    inv_int "AddLast" 2;
+    inv "RemoveFirst";
+    inv "RemoveLast";
+    inv "Count";
+    inv "ToArray";
+  ]
+
+let adapter =
+  let create () =
+    let lock = Mutex_.create ~name:"cll.lock" () in
+    let items = Var.make ~name:"cll.items" [] in
+    let invoke (i : Invocation.t) =
+      Mutex_.with_lock lock (fun () ->
+          match i.name, i.arg with
+          | "AddFirst", Value.Int x ->
+            Var.write items (x :: Var.read items);
+            Value.unit
+          | "AddLast", Value.Int x ->
+            Var.write items (Var.read items @ [ x ]);
+            Value.unit
+          | "RemoveFirst", Value.Unit -> (
+            match Var.read items with
+            | [] -> Value.Fail
+            | x :: rest ->
+              Var.write items rest;
+              Value.int x)
+          | "RemoveLast", Value.Unit -> (
+            match List.rev (Var.read items) with
+            | [] -> Value.Fail
+            | x :: rest_rev ->
+              Var.write items (List.rev rest_rev);
+              Value.int x)
+          | "Count", Value.Unit -> Value.int (List.length (Var.read items))
+          | "ToArray", Value.Unit -> Value.list (List.map Value.int (Var.read items))
+          | _ -> unexpected "ConcurrentLinkedList" i)
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name:"ConcurrentLinkedList" ~universe create

@@ -1,0 +1,7 @@
+(** ConcurrentLinkedList (Table 1, a CTP-only class): [AddFirst(x)],
+    [AddLast(x)], [RemoveFirst], [RemoveLast] ([Fail] when empty), [Count],
+    [ToArray].
+
+    A lock-protected deque; known-good subject. *)
+
+val adapter : Lineup.Adapter.t

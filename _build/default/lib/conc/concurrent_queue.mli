@@ -1,0 +1,13 @@
+(** ConcurrentQueue (Table 1): [Enqueue(x)], [TryDequeue], [TryPeek],
+    [Count], [IsEmpty], [ToArray].
+
+    - {!correct}: one lock around an immutable list.
+    - {!pre} (root cause B — the bug of Fig. 1): [TryDequeue] accidentally
+      acquires its lock with a {e timeout}; when the acquisition times out
+      the method reports failure, so a [TryDequeue] can fail on a provably
+      non-empty queue. The model checker explores the timeout as a demonic
+      choice, reproducing the paper's violation without modelling real
+      time. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

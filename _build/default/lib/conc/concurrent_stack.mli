@@ -1,0 +1,13 @@
+(** ConcurrentStack (Table 1): [Push(x)], [TryPop], [TryPeek], [Count],
+    [PushRange([..])], [TryPopRange(n)], [ToArray].
+
+    - {!correct}: a Treiber stack — the top of stack is an immutable list in
+      a single CAS cell, so every operation (including the range
+      operations and snapshots) is one atomic read or CAS.
+    - {!pre} (root cause E): [TryPopRange] pops its elements {e one CAS at a
+      time}; concurrent pushes can interleave between the individual pops,
+      so the returned range is not a contiguous stack segment — e.g. it can
+      contain elements that were never adjacent. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,71 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+module Rt = Lineup_runtime.Rt
+open Util
+
+let universe =
+  [
+    inv "Signal";
+    inv "Wait";
+    inv "IsSet";
+    inv "CurrentCount";
+    inv "AddCount";
+    inv "TryAddCount";
+    inv "TryWait";
+  ]
+
+let initial_count = 2
+
+let make_adapter ~buggy_signal name =
+  let create () =
+    let count = Var.make ~volatile:true ~name:"cde.count" initial_count in
+    let lock = Mutex_.create ~name:"cde.lock" () in
+    let signal () =
+      if buggy_signal then begin
+        (* BUG (root cause D): unsynchronized decrement *)
+        let c = Var.read count in
+        if c = 0 then Value.Fail
+        else begin
+          Var.write count (c - 1);
+          Value.bool (c - 1 = 0)
+        end
+      end
+      else
+        Mutex_.with_lock lock (fun () ->
+            let c = Var.read count in
+            if c = 0 then Value.Fail
+            else begin
+              Var.write count (c - 1);
+              Value.bool (c - 1 = 0)
+            end)
+    in
+    let add_count ~try_ () =
+      Mutex_.with_lock lock (fun () ->
+          let c = Var.read count in
+          if c = 0 then if try_ then Value.bool false else Value.Fail
+          else begin
+            Var.write count (c + 1);
+            if try_ then Value.bool true else Value.unit
+          end)
+    in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "Signal", Value.Unit -> signal ()
+      | "AddCount", Value.Unit -> add_count ~try_:false ()
+      | "TryAddCount", Value.Unit -> add_count ~try_:true ()
+      | "CurrentCount", Value.Unit -> Value.int (Var.read count)
+      | "IsSet", Value.Unit -> Value.bool (Var.read count = 0)
+      | "TryWait", Value.Unit -> Value.bool (Var.read count = 0)
+      | "Wait", Value.Unit ->
+        Rt.block ~wake:(fun () -> Var.peek count = 0) "countdown reaches zero";
+        Value.unit
+      | _ -> unexpected "CountdownEvent" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name ~universe create
+
+let correct = make_adapter ~buggy_signal:false "CountdownEvent"
+let pre = make_adapter ~buggy_signal:true "CountdownEvent (Pre: racy signal)"

@@ -1,0 +1,15 @@
+(** CountdownEvent (Table 1), initialized with count 2: [Signal] (returns
+    whether the event became set; [Fail] models the .NET exception on an
+    already-set event), [AddCount] ([Fail] once set), [TryAddCount],
+    [CurrentCount], [IsSet], [Wait] (blocks until the count reaches zero),
+    [TryWait].
+
+    - {!correct}: all transitions under one lock; [Wait] sleeps on the
+      scheduler's predicate blocking.
+    - {!pre} (root cause D): [Signal]'s decrement is an unsynchronized
+      read-modify-write; two concurrent signals can both observe count 2 and
+      write 1 — the event never becomes set and waiters block forever (both
+      a wrong-result and an erroneous-blocking failure). *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

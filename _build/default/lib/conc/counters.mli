@@ -1,0 +1,18 @@
+(** The pedagogical counters of Section 2.2.
+
+    - {!correct}: every operation under one lock — linearizable.
+    - {!buggy_unlocked} ("Counter1", §2.2.1): [Inc] reads and writes the
+      count without the lock; two concurrent increments can be lost,
+      yielding the non-linearizable history of the paper ([Get] returns 1
+      after two completed [Inc]).
+    - {!buggy_stuck} ("Counter2", §2.2.2): [Get] acquires the lock and never
+      releases it. Every history it produces is linearizable under
+      Definition 1 — only the generalized definition (stuck histories,
+      Definition 2) catches the bug.
+
+    Operations: [Inc], [Get], [Set(x)], and blocking [Dec] (the
+    semaphore-like decrement of Fig. 3, present on {!correct} only). *)
+
+val correct : Lineup.Adapter.t
+val buggy_unlocked : Lineup.Adapter.t
+val buggy_stuck : Lineup.Adapter.t

@@ -1,0 +1,52 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+open Util
+
+let universe = [ inv "Value"; inv "IsValueCreated"; inv "ToString" ]
+
+let make_adapter ~publish_flag_first name =
+  let create () =
+    let lock = Mutex_.create ~name:"lazy.lock" () in
+    let initialized = Var.make ~volatile:true ~name:"lazy.initialized" false in
+    let cell = Var.make ~name:"lazy.value" 0 in
+    let factory_runs = Var.make ~name:"lazy.factory_runs" 0 in
+    let force () =
+      if Var.read initialized then Var.read cell
+      else
+        Mutex_.with_lock lock (fun () ->
+            if Var.read initialized then Var.read cell
+            else begin
+              let runs = Var.read factory_runs + 1 in
+              Var.write factory_runs runs;
+              if publish_flag_first then begin
+                (* BUG (root cause F): flag published before the value *)
+                Var.write initialized true;
+                Var.write cell runs;
+                runs
+              end
+              else begin
+                Var.write cell runs;
+                Var.write initialized true;
+                runs
+              end
+            end)
+    in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "Value", Value.Unit ->
+        (* the racy fast path reads the flag, then the cell *)
+        if Var.read initialized then Value.int (Var.read cell) else Value.int (force ())
+      | "IsValueCreated", Value.Unit -> Value.bool (Var.read initialized)
+      | "ToString", Value.Unit ->
+        if Var.read initialized then Value.str (string_of_int (Var.read cell))
+        else Value.str "<uncreated>"
+      | _ -> unexpected "LazyInit" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name ~universe create
+
+let correct = make_adapter ~publish_flag_first:false "LazyInit"
+let pre = make_adapter ~publish_flag_first:true "LazyInit (Pre: early publish)"

@@ -1,0 +1,16 @@
+(** Lazy initialization (the paper's "LazyInit" class, Table 1): [Value]
+    (forces the factory on first use and returns the computed value),
+    [IsValueCreated], [ToString].
+
+    The factory is observable: it returns 1 plus the number of prior factory
+    executions, so a double execution or a leaked default is visible in the
+    history (serially, [Value] always returns 1).
+
+    - {!correct}: double-checked locking with the initialized flag published
+      {e after} the value.
+    - {!pre} (root cause F): the flag is published {e before} the value is
+      stored; a concurrent reader sees the flag and returns the
+      uninitialized default 0. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,20 @@
+(** A lazy-synchronization sorted-list set (Heller, Herlihy, Luchangco,
+    Moir, Scherer, Shavit 2005) — the kind of published fine-grained
+    algorithm whose correctness the paper's introduction calls "subtle
+    enough to warrant manual proofs of linearizability". Here the model
+    checker machine-checks it instead.
+
+    Operations (keys 10 and 15 in the universe): [Add(k)], [Remove(k)]
+    (return whether the set changed), [Contains(k)] (wait-free, traverses
+    without locks, relying on the marked-node protocol).
+
+    - {!correct}: the published algorithm — removal {e marks} the victim
+      node before unlinking; insertion validates that neither neighbor is
+      marked and that they are still adjacent.
+    - {!pre}: removal forgets to mark. Insertions that validated against
+      the (unmarked) removed node succeed into an unreachable suffix — a
+      lost insert: [Add] returns [true] but a later [Contains] returns
+      [false]. The classic lazy-list bug. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,26 @@
+(** ManualResetEvent — the class behind the paper's headline bug (root cause
+    A, Section 5.2.1, Fig. 9).
+
+    Operations: [Set], [Reset], [Wait] (blocks while unset), [TryWait]
+    (.NET's [WaitOne(0)]), [IsSet].
+
+    Three variants:
+    - {!correct}: combined state word (bit 0 = signaled, upper bits = waiter
+      count) updated by CAS; waiters sleep on a monitor and re-check under
+      the lock, so wake-ups cannot be lost.
+    - {!lost_signal}: [Set] attempts its CAS {e once} and silently drops the
+      signal if a waiter registers concurrently — a waiter can then block
+      forever although [Set] returned. Like the paper's bug A, this is
+      invisible to classic linearizability and caught only by the stuck-
+      history check (Definition 2): serially, [Wait] after [Set] never
+      blocks.
+    - {!cas_typo}: the paper's literal defect — the new state word is
+      computed from a {e re-read} of the shared variable instead of the
+      local copy ([newstate = f(state)] instead of [f(localstate)]). A
+      [Set]/[Reset] pair racing with the registration corrupts the state
+      word with a stale signal bit, observable as [IsSet] returning [true]
+      after a completed [Reset]. *)
+
+val correct : Lineup.Adapter.t
+val lost_signal : Lineup.Adapter.t
+val cas_typo : Lineup.Adapter.t

@@ -1,0 +1,13 @@
+(** A lock-free FIFO queue (Michael & Scott 1996) — the style of fine-
+    grained implementation the paper's introduction motivates ("many
+    concurrent components, in practice, use more sophisticated lock-free
+    synchronization").
+
+    Operations: [Enqueue(x)], [TryDequeue], [TryPeek], [IsEmpty].
+    ([Count]/[ToArray] are deliberately absent: a lock-free traversal is not
+    linearizable and this variant is a known-good subject.)
+
+    The CAS retry loops go through [Rt.yield], exercising the model
+    checker's fair scheduling of spin loops. *)
+
+val adapter : Lineup.Adapter.t

@@ -1,0 +1,80 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Rt = Lineup_runtime.Rt
+open Util
+
+(* State word: bit 0 = writer held, upper bits = reader count. *)
+let wbit = 1
+let reader = 2
+let readers st = st asr 1
+let writer st = st land wbit = 1
+
+let universe =
+  [
+    inv "EnterRead";
+    inv "ExitRead";
+    inv "EnterWrite";
+    inv "ExitWrite";
+    inv "TryEnterRead";
+    inv "TryEnterWrite";
+    inv "CurrentReadCount";
+    inv "IsWriteHeld";
+  ]
+
+let make_adapter ~racy_enter_read name =
+  let create () =
+    let state = Var.make ~volatile:true ~name:"rwlock.state" 0 in
+    let rec cas_update ~may f =
+      let s = Var.read state in
+      match f s with
+      | None -> if may then false else (Rt.block ~wake:(fun () -> Option.is_some (f (Var.peek state))) "rwlock"; cas_update ~may f)
+      | Some s' ->
+        if Var.cas state s s' then true
+        else begin
+          Rt.yield ();
+          cas_update ~may f
+        end
+    in
+    let enter_read () =
+      if racy_enter_read then begin
+        (* BUG: blocks correctly on a writer, but the increment itself is
+           an unsynchronized read-modify-write *)
+        Rt.block ~wake:(fun () -> not (writer (Var.peek state))) "no writer";
+        let s = Var.read state in
+        Var.write state (s + reader)
+      end
+      else ignore (cas_update ~may:false (fun s -> if writer s then None else Some (s + reader)))
+    in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "EnterRead", Value.Unit ->
+        enter_read ();
+        Value.unit
+      | "ExitRead", Value.Unit ->
+        if
+          cas_update ~may:true (fun s -> if readers s = 0 then None else Some (s - reader))
+        then Value.unit
+        else Value.Fail
+      | "EnterWrite", Value.Unit ->
+        ignore (cas_update ~may:false (fun s -> if s = 0 then Some wbit else None));
+        Value.unit
+      | "ExitWrite", Value.Unit ->
+        if cas_update ~may:true (fun s -> if writer s then Some (s land lnot wbit) else None)
+        then Value.unit
+        else Value.Fail
+      | "TryEnterRead", Value.Unit ->
+        Value.bool
+          (cas_update ~may:true (fun s -> if writer s then None else Some (s + reader)))
+      | "TryEnterWrite", Value.Unit ->
+        Value.bool (cas_update ~may:true (fun s -> if s = 0 then Some wbit else None))
+      | "CurrentReadCount", Value.Unit -> Value.int (readers (Var.read state))
+      | "IsWriteHeld", Value.Unit -> Value.bool (writer (Var.read state))
+      | _ -> unexpected "ReaderWriterLockSlim" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name ~universe create
+
+let correct = make_adapter ~racy_enter_read:false "ReaderWriterLockSlim"
+let pre = make_adapter ~racy_enter_read:true "ReaderWriterLockSlim (Pre: racy EnterRead)"

@@ -1,0 +1,17 @@
+(** ReaderWriterLockSlim — a .NET 4.0-era synchronization class of the same
+    family as those in Table 1 (bonus subject).
+
+    Operations: [EnterRead] (blocks while a writer holds the lock),
+    [ExitRead] ([Fail] when no reader holds it), [EnterWrite] (blocks while
+    any reader or writer holds it), [ExitWrite], [TryEnterRead],
+    [TryEnterWrite], [CurrentReadCount], [IsWriteHeld].
+
+    - {!correct}: reader count and writer flag updated atomically under a
+      CAS loop; waiters sleep on the scheduler's predicate blocking.
+    - {!pre}: [EnterRead]'s fast path increments the reader count with an
+      unsynchronized read-modify-write; two concurrent [EnterRead]s can
+      lose an increment — observable as [CurrentReadCount] = 1 after both
+      returned, or as a spurious [Fail] from the second [ExitRead]. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,19 @@
+(** A segment-based mostly-lock-free FIFO queue, modelled on the actual
+    .NET 4.0 ConcurrentQueue implementation (fixed-size array segments,
+    reserve-then-fill slots, lazily linked segments) — a second lock-free
+    subject exercising CAS reservation protocols rather than list surgery.
+
+    Operations: [Enqueue(x)], [TryDequeue], [TryPeek], [IsEmpty].
+
+    Protocol: each segment has [capacity] slots and two cursors. [Enqueue]
+    reserves a slot by CAS on the tail cursor, writes the value, then sets
+    the slot's [committed] flag; when a segment fills, the enqueuer links a
+    fresh segment. [TryDequeue] reserves from the head cursor and spins
+    (yielding) until the slot it won is committed — the reservation windows
+    are exactly where linearizability is subtle, and the model checker
+    explores them exhaustively. *)
+
+val adapter : Lineup.Adapter.t
+
+(** Slots per segment (kept tiny so tests cross segment boundaries). *)
+val capacity : int

@@ -1,0 +1,13 @@
+(** SemaphoreSlim (Table 1): [CurrentCount], [Release] (returns the previous
+    count), [ReleaseMany(n)], [Wait] (blocks at zero), [TryWait]
+    (.NET's [Wait(0)]).
+
+    - {!correct}: count guarded by a lock; waiters sleep on a monitor with a
+      re-check loop.
+    - {!pre} (root cause C): [Release] performs the increment {e outside}
+      the lock as a plain read-modify-write; two concurrent releases can
+      lose an increment, and the two calls can both return the same previous
+      count — impossible serially. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,19 @@
+(** Correct-by-construction implementations derived from specifications.
+
+    Wraps a {!Lineup_spec.Spec.t} behind a single global lock: every
+    operation acquires the lock, steps the specification state, and releases
+    — the textbook way to obtain a linearizable component (paper,
+    Introduction). Blocking specification outcomes block the caller until
+    the state changes.
+
+    These are the "known good" subjects in the test suite: Line-Up must PASS
+    them, and any FAIL is a bug in Line-Up itself. *)
+
+(** [adapter ?name ?universe spec] builds an adapter; [universe] defaults to
+    nothing and must be provided for use with the automatic test
+    generators. *)
+val adapter :
+  ?name:string ->
+  ?universe:Lineup_history.Invocation.t list ->
+  'st Lineup_spec.Spec.t ->
+  Lineup.Adapter.t

@@ -1,0 +1,60 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module Var = Lineup_runtime.Shared_var
+module Rt = Lineup_runtime.Rt
+open Util
+
+type state =
+  | Pending
+  | Done of int
+  | Canceled
+
+let universe =
+  [
+    inv_int "TrySetResult" 10;
+    inv_int "TrySetResult" 20;
+    inv "TrySetCanceled";
+    inv "GetResult";
+    inv "IsCompleted";
+    inv "Wait";
+  ]
+
+let make_adapter ~atomic name =
+  let create () =
+    let state = Var.make ~volatile:true ~name:"tcs.state" Pending in
+    let try_complete target =
+      if atomic then
+        (* single CAS from the Pending sentinel decides the winner *)
+        Var.cas state Pending target
+      else begin
+        (* BUG (root cause G): check-then-act *)
+        match Var.read state with
+        | Pending ->
+          Var.write state target;
+          true
+        | Done _ | Canceled -> false
+      end
+    in
+    let invoke (i : Invocation.t) =
+      match i.name, i.arg with
+      | "TrySetResult", Value.Int x -> Value.bool (try_complete (Done x))
+      | "TrySetCanceled", Value.Unit -> Value.bool (try_complete Canceled)
+      | "GetResult", Value.Unit -> (
+        match Var.read state with
+        | Done x -> Value.int x
+        | Pending | Canceled -> Value.Fail)
+      | "IsCompleted", Value.Unit ->
+        Value.bool (match Var.read state with Pending -> false | Done _ | Canceled -> true)
+      | "Wait", Value.Unit ->
+        Rt.block
+          ~wake:(fun () -> match Var.peek state with Pending -> false | Done _ | Canceled -> true)
+          "task completed";
+        Value.unit
+      | _ -> unexpected "TaskCompletionSource" i
+    in
+    { Lineup.Adapter.invoke }
+  in
+  Lineup.Adapter.make ~name ~universe create
+
+let correct = make_adapter ~atomic:true "TaskCompletionSource"
+let pre = make_adapter ~atomic:false "TaskCompletionSource (Pre: racy TrySetResult)"

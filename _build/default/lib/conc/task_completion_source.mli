@@ -1,0 +1,12 @@
+(** TaskCompletionSource (Table 1): [TrySetResult(10)], [TrySetResult(20)],
+    [TrySetCanceled], [GetResult] (the stored result, [Fail] when unset or
+    canceled), [IsCompleted], [Wait] (blocks until completed).
+
+    - {!correct}: a single CAS decides the winner; exactly one
+      completion attempt returns [true].
+    - {!pre} (root cause G): check-then-act without atomicity — two
+      concurrent [TrySetResult] calls can both observe "not completed" and
+      both return [true], which no serial execution allows. *)
+
+val correct : Lineup.Adapter.t
+val pre : Lineup.Adapter.t

@@ -1,0 +1,11 @@
+(* Shared helpers for the implementations under test. *)
+
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+
+let unexpected class_name (inv : Invocation.t) =
+  Fmt.invalid_arg "%s: unexpected invocation %a" class_name Invocation.pp inv
+
+(* Universe construction helpers. *)
+let inv ?arg name = Invocation.make ?arg name
+let inv_int name n = Invocation.make ~arg:(Value.int n) name

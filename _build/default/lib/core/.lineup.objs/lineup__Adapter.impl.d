@@ -1,0 +1,1 @@
+lib/core/adapter.ml: Lineup_history Lineup_value List String

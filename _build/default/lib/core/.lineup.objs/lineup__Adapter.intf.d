@@ -1,0 +1,1 @@
+lib/core/adapter.mli: Lineup_history Lineup_value

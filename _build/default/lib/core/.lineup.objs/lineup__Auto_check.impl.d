@@ -1,0 +1,1 @@
+lib/core/auto_check.ml: Adapter Check List Seq Test_matrix

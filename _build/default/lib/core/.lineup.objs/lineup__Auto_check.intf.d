@@ -1,0 +1,1 @@
+lib/core/auto_check.mli: Adapter Check Test_matrix

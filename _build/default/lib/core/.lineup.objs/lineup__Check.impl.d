@@ -1,0 +1,1 @@
+lib/core/check.ml: Fmt Harness Hashtbl Lineup_history Lineup_scheduler Observation Printexc Result Stdlib Unix

@@ -1,0 +1,1 @@
+lib/core/check.mli: Adapter Format Lineup_history Lineup_scheduler Observation Stdlib Test_matrix

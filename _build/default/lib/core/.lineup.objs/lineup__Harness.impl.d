@@ -1,0 +1,1 @@
+lib/core/harness.ml: Adapter Array Lineup_history Lineup_runtime Lineup_scheduler List Option Test_matrix

@@ -1,0 +1,1 @@
+lib/core/harness.mli: Adapter Lineup_history Lineup_runtime Lineup_scheduler Random Test_matrix

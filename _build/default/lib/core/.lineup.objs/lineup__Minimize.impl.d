@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Array Check Lineup_history List Test_matrix

@@ -1,0 +1,1 @@
+lib/core/minimize.mli: Adapter Check Test_matrix

@@ -1,0 +1,1 @@
+lib/core/obs_cache.ml: Adapter Array Check Digest Filename Fmt Lineup_history List Observation_file String Sys Test_matrix

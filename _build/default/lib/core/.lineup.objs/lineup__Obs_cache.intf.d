@@ -1,0 +1,1 @@
+lib/core/obs_cache.mli: Adapter Check Observation Test_matrix

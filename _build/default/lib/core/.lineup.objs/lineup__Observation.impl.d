@@ -1,0 +1,1 @@
+lib/core/observation.ml: Hashtbl Int Lineup_history Lineup_value List Option

@@ -1,0 +1,1 @@
+lib/core/observation.mli: Lineup_history

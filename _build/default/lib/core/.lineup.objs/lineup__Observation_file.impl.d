@@ -1,0 +1,1 @@
+lib/core/observation_file.ml: Char Fmt Fun Hashtbl Int Lineup_history Lineup_value List Observation Option Stdlib String Xml

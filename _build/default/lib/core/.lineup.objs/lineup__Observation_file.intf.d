@@ -1,0 +1,1 @@
+lib/core/observation_file.mli: Lineup_history Lineup_value Observation Xml

@@ -1,0 +1,1 @@
+lib/core/random_check.ml: Check Domain List Option Random Test_matrix

@@ -1,0 +1,1 @@
+lib/core/random_check.mli: Adapter Check Lineup_history Random Test_matrix

@@ -1,0 +1,1 @@
+lib/core/report.ml: Adapter Check Fmt Lineup_history Lineup_scheduler Observation_file Test_matrix Xml

@@ -1,0 +1,1 @@
+lib/core/report.mli: Adapter Check Format Test_matrix

@@ -1,0 +1,1 @@
+lib/core/test_matrix.ml: Array Fmt Fun Lineup_history List Random Seq

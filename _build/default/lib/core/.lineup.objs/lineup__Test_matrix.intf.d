@@ -1,0 +1,1 @@
+lib/core/test_matrix.mli: Format Lineup_history Random Seq

@@ -1,0 +1,1 @@
+lib/core/xml.ml: Buffer Fmt List String

@@ -1,0 +1,36 @@
+type outcome =
+  | Failed of { test : Test_matrix.t; result : Check.result; tests_run : int }
+  | Budget_exhausted of { tests_run : int }
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let run ?config ~max_tests (adapter : Adapter.t) =
+  let tests_run = ref 0 in
+  let result = ref None in
+  let universe_size = List.length adapter.universe in
+  (try
+     let n = ref 1 in
+     while true do
+       let invocations = take (min !n universe_size) adapter.universe in
+       Seq.iter
+         (fun test ->
+           if !tests_run >= max_tests then raise Exit;
+           incr tests_run;
+           let r = Check.run ?config adapter test in
+           if not (Check.passed r) then begin
+             result := Some (Failed { test; result = r; tests_run = !tests_run });
+             raise Exit
+           end)
+         (Test_matrix.enumerate ~invocations ~rows:!n ~cols:!n);
+       incr n
+     done
+   with Exit -> ());
+  match !result with
+  | Some r -> r
+  | None -> Budget_exhausted { tests_run = !tests_run }

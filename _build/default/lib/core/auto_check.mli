@@ -1,0 +1,15 @@
+(** [AutoCheck(X)] — Fig. 6: fully automatic checking.
+
+    For n = 1, 2, 3, … let [I_n] be the first [n] invocations of the
+    adapter's universe and run [Check] on every test in [M_{n×n}^{I_n}].
+    On an implementation that is not deterministically linearizable this
+    eventually fails (Theorem 7 — soundness); on a correct implementation it
+    does not terminate, so a budget of tests must be supplied. *)
+
+type outcome =
+  | Failed of { test : Test_matrix.t; result : Check.result; tests_run : int }
+  | Budget_exhausted of { tests_run : int }
+
+(** [run ?config ~max_tests adapter] executes the AutoCheck loop until a
+    violation is found or [max_tests] Check invocations have been spent. *)
+val run : ?config:Check.config -> max_tests:int -> Adapter.t -> outcome

@@ -1,0 +1,177 @@
+module History = Lineup_history.History
+module Serial_history = Lineup_history.Serial_history
+module Op = Lineup_history.Op
+module Explore = Lineup_scheduler.Explore
+
+type config = {
+  phase1 : Explore.config;
+  phase2 : Explore.config;
+  classic_only : bool;
+  dedup_histories : bool;
+}
+
+let default_config =
+  {
+    phase1 = Explore.serial_config;
+    phase2 = Explore.default_config;
+    classic_only = false;
+    dedup_histories = true;
+  }
+
+let config_with ?preemption_bound ?max_executions ?(classic_only = false) () =
+  let phase2 = default_config.phase2 in
+  let phase2 =
+    match preemption_bound with
+    | Some pb -> { phase2 with Explore.preemption_bound = pb }
+    | None -> phase2
+  in
+  let phase2 =
+    match max_executions with
+    | Some cap -> { phase2 with Explore.max_executions = cap }
+    | None -> phase2
+  in
+  { default_config with phase2; classic_only }
+
+type violation =
+  | Nondeterministic of Serial_history.t * Serial_history.t
+  | No_witness of History.t
+  | Stuck_unjustified of History.t * Op.t
+  | Thread_exception of { tid : int; message : string }
+
+type phase_report = {
+  stats : Explore.stats;
+  histories : int;
+  time : float;
+}
+
+type result = {
+  verdict : (unit, violation) Stdlib.result;
+  observation : Observation.t;
+  phase1 : phase_report;
+  phase2 : phase_report option;
+}
+
+let passed r = Result.is_ok r.verdict
+
+let pp_violation ppf = function
+  | Nondeterministic (s1, s2) ->
+    Fmt.pf ppf
+      "@[<v>nondeterministic serial behavior:@,  %a@,  %a@]"
+      Serial_history.pp s1 Serial_history.pp s2
+  | No_witness h ->
+    Fmt.pf ppf "@[<v>non-linearizable history (no serial witness):@,%a@]" History.pp h
+  | Stuck_unjustified (h, op) ->
+    Fmt.pf ppf
+      "@[<v>stuck history with unjustified pending operation %a:@,%a@]" Op.pp op History.pp h
+  | Thread_exception { tid; message } ->
+    Fmt.pf ppf "operation on thread %d raised: %s" tid message
+
+let exception_of (outcome : Explore.exec_outcome) =
+  match outcome.errors with
+  | [] -> None
+  | (tid, e) :: _ -> Some (Thread_exception { tid; message = Printexc.to_string e })
+
+let now () = Unix.gettimeofday ()
+
+(* Phase 1: enumerate serial executions, synthesize the specification. *)
+let synthesize ?(config = default_config) adapter test =
+  let observation = Observation.create () in
+  let p1_start = now () in
+  let p1_violation = ref None in
+  let p1_stats =
+    Harness.run_phase config.phase1 ~adapter ~test ~on_history:(fun r ->
+        match exception_of r.outcome with
+        | Some v ->
+          p1_violation := Some v;
+          `Stop
+        | None -> (
+          let serial =
+            match Serial_history.of_history r.history with
+            | Some s -> s
+            | None ->
+              Fmt.failwith "Check: phase 1 produced a non-serial history:@ %a" History.pp
+                r.history
+          in
+          match Observation.add observation serial with
+          | Ok () -> `Continue
+          | Error (s1, s2) ->
+            p1_violation := Some (Nondeterministic (s1, s2));
+            `Stop))
+  in
+  let phase1 =
+    {
+      stats = p1_stats;
+      histories = Observation.num_full observation + Observation.num_stuck observation;
+      time = now () -. p1_start;
+    }
+  in
+  match !p1_violation with
+  | Some v -> Error (v, phase1)
+  | None -> Ok (observation, phase1)
+
+let empty_stats =
+  {
+    Explore.executions = 0;
+    total_steps = 0;
+    deadlocks = 0;
+    divergences = 0;
+    serial_stucks = 0;
+    max_depth = 0;
+    pruned_choices = 0;
+    complete = true;
+  }
+
+let run ?(config = default_config) ?observation adapter test =
+  let phase1_result =
+    match observation with
+    | Some obs ->
+      let histories = Observation.num_full obs + Observation.num_stuck obs in
+      Ok (obs, { stats = empty_stats; histories; time = 0.0 })
+    | None -> synthesize ~config adapter test
+  in
+  match phase1_result with
+  | Error (v, phase1) ->
+    { verdict = Error v; observation = Observation.create (); phase1; phase2 = None }
+  | Ok (observation, phase1) ->
+    (* Phase 2: enumerate concurrent executions, check against the
+       observation set. *)
+    let p2_start = now () in
+    let p2_violation = ref None in
+    let p2_histories = ref 0 in
+    (* Distinct histories seen: schedules frequently reproduce the same
+       event sequence, and the witness verdict only depends on the history,
+       so each distinct one is checked once. *)
+    let seen : (Lineup_history.Event.t list * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+    let p2_stats =
+      Harness.run_phase config.phase2 ~adapter ~test ~on_history:(fun r ->
+          match exception_of r.outcome with
+          | Some v ->
+            p2_violation := Some v;
+            `Stop
+          | None
+            when config.dedup_histories
+                 && Hashtbl.mem seen (History.events r.history, History.is_stuck r.history) ->
+            `Continue
+          | None ->
+            Hashtbl.replace seen (History.events r.history, History.is_stuck r.history) ();
+            incr p2_histories;
+            if History.is_stuck r.history then
+              if config.classic_only then `Continue
+              else begin
+                match Observation.linearizable_stuck observation r.history with
+                | Ok () -> `Continue
+                | Error op ->
+                  p2_violation := Some (Stuck_unjustified (r.history, op));
+                  `Stop
+              end
+            else begin
+              match Observation.find_witness_full observation r.history with
+              | Some _ -> `Continue
+              | None ->
+                p2_violation := Some (No_witness r.history);
+                `Stop
+            end)
+    in
+    let phase2 = { stats = p2_stats; histories = !p2_histories; time = now () -. p2_start } in
+    let verdict = match !p2_violation with Some v -> Error v | None -> Ok () in
+    { verdict; observation; phase1; phase2 = Some phase2 }

@@ -1,0 +1,87 @@
+(** The two-phase check [Check(X, m)] of Fig. 5.
+
+    Phase 1 enumerates the serial executions of the finite test [m] on
+    implementation [X], synthesizing the candidate deterministic sequential
+    specification: the full serial histories [A] and stuck serial histories
+    [B]. If [A ∪ B] is nondeterministic, the check fails — no deterministic
+    specification can describe [X] (Fig. 5, line 4).
+
+    Phase 2 enumerates the concurrent executions and checks each full
+    history for a serial witness in [A] and each stuck history against [B]
+    per Definition 2. Any failure is a proof that [X] is not linearizable
+    with respect to {e any} deterministic sequential specification
+    (Theorem 5 — completeness: no false alarms).
+
+    Phase 1 runs without preemption bounding, preserving the completeness
+    guarantee even when phase 2 is bounded (Section 4.3). *)
+
+type config = {
+  phase1 : Lineup_scheduler.Explore.config;
+  phase2 : Lineup_scheduler.Explore.config;
+  classic_only : bool;
+      (** check Definition 1 only: stuck phase-2 histories are not checked
+          against [B] — the pre-generalization notion of Section 2.2, which
+          misses erroneous blocking (used by the Section 5.5 comparison) *)
+  dedup_histories : bool;
+      (** skip the witness search for histories already seen in phase 2
+          (sound: the verdict is a function of the history); on by default,
+          benchmarked by the dedup ablation *)
+}
+
+val default_config : config
+
+(** [config_with ?preemption_bound ?max_executions ?classic_only ()] derives
+    a configuration from {!default_config}; [max_executions] bounds phase 2
+    only. *)
+val config_with :
+  ?preemption_bound:int option ->
+  ?max_executions:int option ->
+  ?classic_only:bool ->
+  unit ->
+  config
+
+type violation =
+  | Nondeterministic of Lineup_history.Serial_history.t * Lineup_history.Serial_history.t
+      (** two serial executions diverge after a common prefix ending in a
+          call: the implementation is not deterministic *)
+  | No_witness of Lineup_history.History.t
+      (** a concurrent full history with no serial witness in [A] *)
+  | Stuck_unjustified of Lineup_history.History.t * Lineup_history.Op.t
+      (** a stuck concurrent history with a pending operation whose [H[e]]
+          has no witness in [B] — erroneous blocking (Definition 2) *)
+  | Thread_exception of { tid : int; message : string }
+      (** an operation raised — not a linearizability verdict, but reported
+          rather than swallowed *)
+
+type phase_report = {
+  stats : Lineup_scheduler.Explore.stats;
+  histories : int;  (** distinct histories observed *)
+  time : float;  (** wall-clock seconds *)
+}
+
+type result = {
+  verdict : (unit, violation) Stdlib.result;
+  observation : Observation.t;
+  phase1 : phase_report;
+  phase2 : phase_report option;  (** [None] when phase 1 already failed *)
+}
+
+val passed : result -> bool
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [synthesize ?config adapter test] runs phase 1 only: enumerate the
+    serial executions of [test] and build the observation set (the
+    synthesized sequential specification). [Error] carries the phase-1
+    violation (nondeterminism, or an operation exception). *)
+val synthesize :
+  ?config:config ->
+  Adapter.t ->
+  Test_matrix.t ->
+  (Observation.t * phase_report, violation * phase_report) Stdlib.result
+
+(** [run ?config ?observation adapter test] — the paper's [Check(X, m)].
+    When [observation] is supplied (e.g. loaded from an observation file of
+    a previous run — §4.1: "the set of observed serial histories Z is
+    recorded in a file"), phase 1 is skipped and the given set is used as
+    the specification. *)
+val run : ?config:config -> ?observation:Observation.t -> Adapter.t -> Test_matrix.t -> result

@@ -1,0 +1,43 @@
+(** Driving a finite test against an adapter under the model checker.
+
+    Each explored execution creates a fresh instance, runs the [init]
+    sequence single-threaded, then runs one thread per test column; the
+    harness records the call and return events (with a scheduling point at
+    each operation boundary) and hands the resulting history — full or stuck
+    — to the caller. The [final] sequence, if any, runs single-threaded
+    after all test threads complete and is recorded as operations of an
+    extra observer thread. *)
+
+type run_result = {
+  history : Lineup_history.History.t;
+  outcome : Lineup_scheduler.Explore.exec_outcome;
+  log : Lineup_runtime.Exec_ctx.entry list;
+      (** the shared-access log of the execution; empty unless
+          [Exec_ctx.set_logging true] *)
+}
+
+(** [run_phase cfg ~adapter ~test ~on_history] explores the schedules of
+    [test] under [cfg] and reports each execution's history. Returning
+    [`Stop] aborts the exploration. *)
+val run_phase :
+  Lineup_scheduler.Explore.config ->
+  adapter:Adapter.t ->
+  test:Test_matrix.t ->
+  on_history:(run_result -> [ `Continue | `Stop ]) ->
+  Lineup_scheduler.Explore.stats
+
+(** Like {!run_phase} but with uniformly random scheduling decisions instead
+    of systematic enumeration — the stress-testing baseline ("simple runtime
+    monitoring is not sufficient", §4). *)
+val run_phase_random :
+  Lineup_scheduler.Explore.config ->
+  rng:Random.State.t ->
+  executions:int ->
+  adapter:Adapter.t ->
+  test:Test_matrix.t ->
+  on_history:(run_result -> [ `Continue | `Stop ]) ->
+  Lineup_scheduler.Explore.stats
+
+(** The thread id used for [final]-sequence operations: the number of test
+    columns. *)
+val observer_tid : Test_matrix.t -> int

@@ -1,0 +1,47 @@
+module Invocation = Lineup_history.Invocation
+
+type result = {
+  test : Test_matrix.t;
+  check : Check.result;
+  checks_spent : int;
+}
+
+(* All tests obtained by deleting exactly one invocation, with emptied
+   columns removed. *)
+let one_smaller (m : Test_matrix.t) =
+  let cols = Array.to_list m.columns in
+  let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
+  List.concat
+    (List.mapi
+       (fun ci col ->
+         List.mapi
+           (fun ri _ ->
+             let col' = drop_nth col ri in
+             let cols' =
+               List.concat
+                 (List.mapi (fun cj c -> if cj = ci then (if col' = [] then [] else [ col' ]) else [ c ]) cols)
+             in
+             Test_matrix.make ~init:m.init ~final:m.final cols')
+           col)
+       cols)
+
+let reduce ?config adapter test =
+  let checks_spent = ref 0 in
+  let check m =
+    incr checks_spent;
+    Check.run ?config adapter m
+  in
+  let initial = check test in
+  if Check.passed initial then
+    invalid_arg "Minimize.reduce: the given test passes";
+  let rec go current current_result =
+    let candidates = one_smaller current in
+    let rec try_candidates = function
+      | [] -> { test = current; check = current_result; checks_spent = !checks_spent }
+      | m :: rest ->
+        let r = check m in
+        if Check.passed r then try_candidates rest else go m r
+    in
+    try_candidates candidates
+  in
+  go test initial

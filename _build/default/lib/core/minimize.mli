@@ -1,0 +1,21 @@
+(** Automatic reduction of failing tests.
+
+    Section 5.1 of the paper: "we manually remove operations from failing
+    3x3 test matrices to obtain a failing test of minimal dimension, for the
+    sake of easier reasoning and regression testing." This module automates
+    that step with a greedy fixpoint: repeatedly drop a single invocation
+    (or an emptied column) as long as [Check] still fails.
+
+    By Lemma 8's contrapositive direction there is no guarantee every
+    sub-test fails, so the result is a local minimum — which is also all the
+    manual procedure guarantees. *)
+
+type result = {
+  test : Test_matrix.t;  (** the reduced failing test *)
+  check : Check.result;  (** its (failing) check result *)
+  checks_spent : int;  (** number of [Check] invocations used *)
+}
+
+(** [reduce ?config adapter test] requires [test] to fail under [config]
+    (raises [Invalid_argument] otherwise). *)
+val reduce : ?config:Check.config -> Adapter.t -> Test_matrix.t -> result

@@ -1,0 +1,37 @@
+module Invocation = Lineup_history.Invocation
+
+let test_key (test : Test_matrix.t) =
+  let col invs = String.concat ";" (List.map Invocation.to_string invs) in
+  String.concat "|"
+    (col test.init
+     :: Array.to_list (Array.map col test.columns)
+     @ [ col test.final ])
+
+let cache_path ~dir (adapter : Adapter.t) test =
+  let digest = Digest.to_hex (Digest.string (adapter.Adapter.name ^ "\x00" ^ test_key test)) in
+  Filename.concat dir (Fmt.str "%s.xml" digest)
+
+let phase1 ?config ~dir adapter test =
+  let path = cache_path ~dir adapter test in
+  if Sys.file_exists path then begin
+    let histories = Observation_file.load ~path in
+    match Observation_file.observation_of_histories histories with
+    | Ok obs -> Ok (obs, true)
+    | Error (s1, s2) -> Error (Check.Nondeterministic (s1, s2))
+  end
+  else begin
+    match Check.synthesize ?config adapter test with
+    | Ok (obs, _report) ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Observation_file.save ~path obs;
+      Ok (obs, false)
+    | Error (v, _report) -> Error v
+  end
+
+let check ?config ~dir adapter test =
+  match phase1 ?config ~dir adapter test with
+  | Ok (observation, _hit) -> Check.run ?config ~observation adapter test
+  | Error _ ->
+    (* a phase-1 violation (cached or fresh): run uncached so the result
+       reflects the current implementation *)
+    Check.run ?config adapter test

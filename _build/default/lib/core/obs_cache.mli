@@ -1,0 +1,30 @@
+(** On-disk caching of phase-1 observation sets.
+
+    §4.1 of the paper: "The set of observed serial histories Z is recorded
+    in a file (called the observation file)" — the two phases are separate
+    CHESS invocations communicating through that file, which also serves
+    regression testing (re-checking a changed implementation against the
+    previously recorded specification).
+
+    The cache key combines the adapter name and the full test content, so a
+    changed test never reuses a stale specification. Cached files are the
+    Fig. 7 XML format, hence human-readable and diffable. *)
+
+(** [phase1 ?config ~dir adapter test] returns the observation set for
+    [test], loading it from [dir] when present and running + recording
+    phase 1 otherwise. [Error] propagates a phase-1 violation (possible
+    only on a cache miss; a cached file of a deterministic run stays
+    deterministic). The [bool] is [true] on a cache hit. *)
+val phase1 :
+  ?config:Check.config ->
+  dir:string ->
+  Adapter.t ->
+  Test_matrix.t ->
+  (Observation.t * bool, Check.violation) result
+
+(** [check ?config ~dir adapter test] — [Check.run] with the phase-1 result
+    cached in [dir]. *)
+val check : ?config:Check.config -> dir:string -> Adapter.t -> Test_matrix.t -> Check.result
+
+(** The cache file used for a given adapter/test pair (inside [dir]). *)
+val cache_path : dir:string -> Adapter.t -> Test_matrix.t -> string

@@ -1,0 +1,158 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+module History = Lineup_history.History
+module Serial_history = Lineup_history.Serial_history
+module Witness = Lineup_history.Witness
+module Op = Lineup_history.Op
+
+(* ------------------------------------------------------------------ *)
+(* Determinism trie                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Nodes are reached by a common prefix of completed operations. At each
+   node, each invocation (by thread) must have a unique continuation —
+   either a unique response (with a child node) or "blocked". A second
+   distinct continuation for the same invocation is exactly the paper's
+   nondeterminism: two histories whose longest common prefix ends in a
+   call. *)
+
+type cont =
+  | Responded of Value.t
+  | Went_stuck
+
+type node = { edges : (int * string, slot) Hashtbl.t }
+
+and slot = {
+  mutable cont : cont;
+  mutable rep : Serial_history.t;  (* a representative history, for reports *)
+  mutable child : node option;
+}
+
+let new_node () = { edges = Hashtbl.create 4 }
+
+let edge_key tid (inv : Invocation.t) = tid, Invocation.to_string inv
+
+let cont_equal c1 c2 =
+  match c1, c2 with
+  | Responded v1, Responded v2 -> Value.equal v1 v2
+  | Went_stuck, Went_stuck -> true
+  | (Responded _ | Went_stuck), _ -> false
+
+(* Insert a serial history; return the nondeterminism witness pair if the
+   trie already committed to a different continuation somewhere along it. *)
+let trie_insert root (s : Serial_history.t) =
+  let conflict = ref None in
+  let visit node tid inv cont =
+    let key = edge_key tid inv in
+    match Hashtbl.find_opt node.edges key with
+    | None ->
+      let slot = { cont; rep = s; child = None } in
+      Hashtbl.replace node.edges key slot;
+      Some slot
+    | Some slot ->
+      if cont_equal slot.cont cont then Some slot
+      else begin
+        conflict := Some (slot.rep, s);
+        None
+      end
+  in
+  let rec go node = function
+    | [] -> (
+      match s.Serial_history.stuck with
+      | None -> ()
+      | Some (tid, inv) -> ignore (visit node tid inv Went_stuck))
+    | (e : Serial_history.entry) :: rest -> (
+      match visit node e.tid e.inv (Responded e.resp) with
+      | None -> ()
+      | Some slot ->
+        let child =
+          match slot.child with
+          | Some c -> c
+          | None ->
+            let c = new_node () in
+            slot.child <- Some c;
+            c
+        in
+        go child rest)
+  in
+  go root s.Serial_history.entries;
+  !conflict
+
+(* ------------------------------------------------------------------ *)
+(* Observation sets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type key = (int * (Invocation.t * Value.t option) list) list
+
+type t = {
+  mutable full : Serial_history.Set.t;
+  mutable stuck : Serial_history.Set.t;
+  full_index : (key, Serial_history.t list ref) Hashtbl.t;
+  stuck_index : (key, Serial_history.t list ref) Hashtbl.t;
+  trie : node;
+}
+
+let create () =
+  {
+    full = Serial_history.Set.empty;
+    stuck = Serial_history.Set.empty;
+    full_index = Hashtbl.create 64;
+    stuck_index = Hashtbl.create 16;
+    trie = new_node ();
+  }
+
+let index_add index s =
+  let key = Serial_history.thread_key s in
+  match Hashtbl.find_opt index key with
+  | Some l -> l := s :: !l
+  | None -> Hashtbl.replace index key (ref [ s ])
+
+let add obs s =
+  let set = if Serial_history.is_stuck s then obs.stuck else obs.full in
+  if Serial_history.Set.mem s set then Ok ()
+  else begin
+    if Serial_history.is_stuck s then begin
+      obs.stuck <- Serial_history.Set.add s obs.stuck;
+      index_add obs.stuck_index s
+    end
+    else begin
+      obs.full <- Serial_history.Set.add s obs.full;
+      index_add obs.full_index s
+    end;
+    match trie_insert obs.trie s with
+    | None -> Ok ()
+    | Some pair -> Error pair
+  end
+
+let num_full obs = Serial_history.Set.cardinal obs.full
+let num_stuck obs = Serial_history.Set.cardinal obs.stuck
+let full_histories obs = Serial_history.Set.elements obs.full
+let stuck_histories obs = Serial_history.Set.elements obs.stuck
+
+let history_key h : key =
+  let ops = History.ops h in
+  let tbl : (int, (Invocation.t * Value.t option) list) Hashtbl.t = Hashtbl.create 7 in
+  List.iter
+    (fun (op : Op.t) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt tbl op.tid) in
+      Hashtbl.replace tbl op.tid ((op.inv, op.resp) :: l))
+    ops;
+  Hashtbl.fold (fun tid l acc -> (tid, List.rev l) :: acc) tbl []
+  |> List.sort (fun (t1, _) (t2, _) -> Int.compare t1 t2)
+
+let find_in index h =
+  match Hashtbl.find_opt index (history_key h) with
+  | None -> None
+  | Some candidates -> List.find_opt (fun serial -> Witness.is_witness ~serial h) !candidates
+
+let find_witness_full obs h = find_in obs.full_index h
+let find_witness_stuck obs he = find_in obs.stuck_index he
+
+let linearizable_stuck obs h =
+  let justified e =
+    let he = History.restrict_to_pending h e in
+    Option.is_some (find_witness_stuck obs he)
+  in
+  match List.find_opt (fun e -> not (justified e)) (History.pending_ops h) with
+  | None -> Ok ()
+  | Some e -> Error e

@@ -1,0 +1,44 @@
+(** Observation sets — the synthesized sequential specification of phase 1.
+
+    An observation set holds the full serial histories [A] and the stuck
+    serial histories [B] recorded for one finite test (Fig. 5, lines 2–3),
+    organized two ways:
+
+    - an incremental {e determinism trie} detecting, as histories are added,
+      any pair whose longest common prefix ends in a call (Fig. 5, line 4);
+    - indexes keyed by per-thread operation sequences — the grouping of the
+      observation-file format (Fig. 7) — so that the phase-2 witness search
+      only examines serial histories whose thread subhistories already match
+      the concurrent history. *)
+
+type t
+
+val create : unit -> t
+
+(** [add obs s] inserts serial history [s] (full or stuck — determined by
+    [Serial_history.is_stuck]). Duplicates are ignored. [Error (s1, s2)]
+    reports nondeterminism: two recorded histories diverging right after a
+    shared invocation prefix. *)
+val add :
+  t -> Lineup_history.Serial_history.t ->
+  (unit, Lineup_history.Serial_history.t * Lineup_history.Serial_history.t) result
+
+val num_full : t -> int
+val num_stuck : t -> int
+val full_histories : t -> Lineup_history.Serial_history.t list
+val stuck_histories : t -> Lineup_history.Serial_history.t list
+
+(** [find_witness_full obs h] searches [A] for a serial witness of the
+    complete history [h]. *)
+val find_witness_full :
+  t -> Lineup_history.History.t -> Lineup_history.Serial_history.t option
+
+(** [find_witness_stuck obs he] searches [B] for a serial witness of [he],
+    which must be an [H[e]]-shaped stuck history (one pending operation). *)
+val find_witness_stuck :
+  t -> Lineup_history.History.t -> Lineup_history.Serial_history.t option
+
+(** [linearizable_stuck obs h] applies Definition 2 to stuck history [h]:
+    every pending operation [e] must have a witness for [H[e]] in [B]. *)
+val linearizable_stuck :
+  t -> Lineup_history.History.t -> (unit, Lineup_history.Op.t) result

@@ -1,0 +1,49 @@
+(** The observation-file format of Fig. 7.
+
+    Histories are grouped into [<observation>] sections; all histories in a
+    section exhibit the same operation sequences for each thread and differ
+    only in the interleaving. Each section lists its threads ([<thread
+    id="A">1 2</thread>], a blocked final operation carrying a [B] suffix),
+    its operations ([<op id="1" name="Add" value="200" result="unit"/>]; a
+    blocking operation has no [result]) and one [<history>] element per
+    interleaving ([1[ ]1 2[ ]2], stuck histories ending in [#]).
+
+    One deliberate deviation from Fig. 7: operation arguments and results
+    are XML attributes rather than element text (the paper's
+    [<op id="1" name="Add">value="200"</op>]), which round-trips robustly
+    for string-valued arguments. *)
+
+val to_xml : Observation.t -> Xml.t
+val to_string : Observation.t -> string
+val save : path:string -> Observation.t -> unit
+
+(** [of_string s] parses an observation file back into its serial
+    histories. Raises [Invalid_argument] on malformed input. *)
+val of_string : string -> Lineup_history.Serial_history.t list
+
+val load : path:string -> Lineup_history.Serial_history.t list
+
+(** Rebuild an observation set, reporting nondeterminism like
+    [Observation.add]. *)
+val observation_of_histories :
+  Lineup_history.Serial_history.t list ->
+  (Observation.t,
+   Lineup_history.Serial_history.t * Lineup_history.Serial_history.t)
+  result
+
+(** [group_to_xml ~key ~interleavings] renders one [<observation>] section:
+    [key] gives each thread's operation sequence, [interleavings] the token
+    strings of its histories. Exposed for {!Report}. *)
+val group_to_xml :
+  key:(int * (Lineup_history.Invocation.t * Lineup_value.Value.t option) list) list ->
+  interleavings:string list ->
+  Xml.t
+
+(** Interleaving token string of an arbitrary history, with operation ids
+    assigned per-thread as in the section's op table (not call order). *)
+val interleaving_tokens : Lineup_history.History.t -> string
+
+(** The section grouping key of a history: per-thread operation sequences. *)
+val history_key :
+  Lineup_history.History.t ->
+  (int * (Lineup_history.Invocation.t * Lineup_value.Value.t option) list) list

@@ -1,0 +1,70 @@
+type test_outcome = {
+  test : Test_matrix.t;
+  result : Check.result;
+}
+
+type report = {
+  outcomes : test_outcome list;
+  passed : int;
+  failed : int;
+  first_failure : test_outcome option;
+}
+
+let run_custom ?config ?(stop_at_first = false) ~gen ~samples adapter =
+  let outcomes = ref [] in
+  let passed = ref 0 in
+  let failed = ref 0 in
+  let first_failure = ref None in
+  (try
+     for _ = 1 to samples do
+       let test = gen () in
+       let result = Check.run ?config adapter test in
+       let outcome = { test; result } in
+       outcomes := outcome :: !outcomes;
+       if Check.passed result then incr passed
+       else begin
+         incr failed;
+         if Option.is_none !first_failure then first_failure := Some outcome;
+         if stop_at_first then raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    outcomes = List.rev !outcomes;
+    passed = !passed;
+    failed = !failed;
+    first_failure = !first_failure;
+  }
+
+let run ?config ?stop_at_first ?(init = []) ?(final = []) ~rng ~invocations ~rows ~cols ~samples
+    adapter =
+  let gen () = Test_matrix.random ~init ~final ~rng ~invocations ~rows ~cols () in
+  run_custom ?config ?stop_at_first ~gen ~samples adapter
+
+let run_seqs ?config ?stop_at_first ?(init = []) ?(final = []) ~rng ~sequences ~rows ~cols
+    ~samples adapter =
+  let gen () = Test_matrix.random_seqs ~init ~final ~rng ~sequences ~rows ~cols () in
+  run_custom ?config ?stop_at_first ~gen ~samples adapter
+
+let merge reports =
+  let outcomes = List.concat_map (fun r -> r.outcomes) reports in
+  {
+    outcomes;
+    passed = List.fold_left (fun acc r -> acc + r.passed) 0 reports;
+    failed = List.fold_left (fun acc r -> acc + r.failed) 0 reports;
+    first_failure =
+      List.find_opt (fun o -> not (Check.passed o.result)) outcomes;
+  }
+
+let run_parallel ?config ?(init = []) ?(final = []) ~domains ~seed ~invocations ~rows ~cols
+    ~samples adapter =
+  if domains < 1 then invalid_arg "Random_check.run_parallel: domains must be >= 1";
+  let per = samples / domains and extra = samples mod domains in
+  let worker i () =
+    let n = per + if i < extra then 1 else 0 in
+    let rng = Random.State.make [| seed; i |] in
+    run ?config ~init ~final ~rng ~invocations ~rows ~cols ~samples:n adapter
+  in
+  let spawned = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  let mine = worker 0 () in
+  merge (mine :: List.map Domain.join spawned)

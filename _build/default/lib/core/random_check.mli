@@ -1,0 +1,79 @@
+(** [RandomCheck(X, I, i, j, n)] — Fig. 8.
+
+    Runs [Check] on a uniform random sample of tests from [M_{i×j}^I].
+    Like [Check], it is complete (any reported violation is real); unlike
+    [AutoCheck] it has no soundness guarantee — bugs may be missed — but the
+    paper found it very effective in practice (Section 4.3), and it is what
+    the evaluation of Section 5 uses (100 random 3×3 tests per class). *)
+
+type test_outcome = {
+  test : Test_matrix.t;
+  result : Check.result;
+}
+
+type report = {
+  outcomes : test_outcome list;  (** in sample order *)
+  passed : int;
+  failed : int;
+  first_failure : test_outcome option;
+}
+
+(** [run ?config ?stop_at_first ~rng ~invocations ~rows ~cols ~samples
+    adapter] samples [samples] tests of dimension [rows × cols] (threads =
+    columns, as in the paper's matrix view) with entries from [invocations]
+    and checks each. When [stop_at_first] is set (default [false]), sampling
+    stops after the first failing test. *)
+val run :
+  ?config:Check.config ->
+  ?stop_at_first:bool ->
+  ?init:Lineup_history.Invocation.t list ->
+  ?final:Lineup_history.Invocation.t list ->
+  rng:Random.State.t ->
+  invocations:Lineup_history.Invocation.t list ->
+  rows:int ->
+  cols:int ->
+  samples:int ->
+  Adapter.t ->
+  report
+
+(** [run_custom ~gen ~samples] samples tests from an arbitrary generator. *)
+val run_custom :
+  ?config:Check.config ->
+  ?stop_at_first:bool ->
+  gen:(unit -> Test_matrix.t) ->
+  samples:int ->
+  Adapter.t ->
+  report
+
+(** Like {!run}, but each matrix cell is a whole invocation sequence drawn
+    from [sequences] (§4.3). *)
+val run_seqs :
+  ?config:Check.config ->
+  ?stop_at_first:bool ->
+  ?init:Lineup_history.Invocation.t list ->
+  ?final:Lineup_history.Invocation.t list ->
+  rng:Random.State.t ->
+  sequences:Lineup_history.Invocation.t list list ->
+  rows:int ->
+  cols:int ->
+  samples:int ->
+  Adapter.t ->
+  report
+
+(** [run_parallel ~domains ~seed ...] splits the sample across [domains]
+    OCaml domains — §4.3: random sampling "is embarrassingly parallel: it is
+    very easy to distribute the various tests and let each core run Check
+    independently". Deterministic for a given (seed, domains) pair; per-
+    execution state is domain-local, so explorations do not interfere. *)
+val run_parallel :
+  ?config:Check.config ->
+  ?init:Lineup_history.Invocation.t list ->
+  ?final:Lineup_history.Invocation.t list ->
+  domains:int ->
+  seed:int ->
+  invocations:Lineup_history.Invocation.t list ->
+  rows:int ->
+  cols:int ->
+  samples:int ->
+  Adapter.t ->
+  report

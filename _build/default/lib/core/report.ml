@@ -1,0 +1,58 @@
+module History = Lineup_history.History
+module Serial_history = Lineup_history.Serial_history
+module Op = Lineup_history.Op
+module Explore = Lineup_scheduler.Explore
+
+let pp_history_section ppf h =
+  let key = Observation_file.history_key h in
+  let xml =
+    Observation_file.group_to_xml ~key
+      ~interleavings:[ Observation_file.interleaving_tokens h ]
+  in
+  Fmt.pf ppf "%s" (Xml.to_string xml)
+
+let summary (r : Check.result) =
+  match r.verdict with
+  | Ok () ->
+    let p2 =
+      match r.phase2 with
+      | Some p -> Fmt.str ", %d concurrent executions" p.stats.Explore.executions
+      | None -> ""
+    in
+    Fmt.str "PASS (%d serial histories%s)" r.phase1.histories p2
+  | Error (Check.Nondeterministic _) -> "FAIL: nondeterministic serial behavior"
+  | Error (Check.No_witness _) -> "FAIL: non-linearizable history"
+  | Error (Check.Stuck_unjustified _) -> "FAIL: unjustified blocking (stuck history)"
+  | Error (Check.Thread_exception _) -> "FAIL: operation raised an exception"
+
+let pp_check_result ppf ~(adapter : Adapter.t) ~test (r : Check.result) =
+  Fmt.pf ppf "@[<v>Line-Up check of %s@,@,Test:@,%a@,@," adapter.name Test_matrix.pp test;
+  (match r.verdict with
+   | Ok () -> Fmt.pf ppf "Verdict: %s@," (summary r)
+   | Error (Check.Nondeterministic (s1, s2)) ->
+     Fmt.pf ppf
+       "Line-Up encountered nondeterministic serial behavior;@,\
+        no deterministic sequential specification exists.@,\
+        Diverging serial histories:@,  %a@,  %a@,"
+       Serial_history.pp s1 Serial_history.pp s2
+   | Error (Check.No_witness h) ->
+     Fmt.pf ppf
+       "Line-Up encountered a non-linearizable history:@,%a" pp_history_section h
+   | Error (Check.Stuck_unjustified (h, op)) ->
+     Fmt.pf ppf
+       "Line-Up encountered a stuck history whose pending operation %a@,\
+        has no serial justification (erroneous blocking):@,%a"
+       Op.pp op pp_history_section h
+   | Error (Check.Thread_exception { tid; message }) ->
+     Fmt.pf ppf "Operation on thread %d raised: %s@," tid message);
+  Fmt.pf ppf "@,Phase 1: %d serial histories in %.3fs (%a)@," r.phase1.histories r.phase1.time
+    Explore.pp_stats r.phase1.stats;
+  (match r.phase2 with
+   | Some p ->
+     Fmt.pf ppf "Phase 2: %d concurrent histories in %.3fs (%a)@," p.histories p.time
+       Explore.pp_stats p.stats
+   | None -> Fmt.pf ppf "Phase 2: not run (phase 1 failed)@,");
+  Fmt.pf ppf "@]"
+
+let check_result_to_string ~adapter ~test r =
+  Fmt.str "%a" (fun ppf () -> pp_check_result ppf ~adapter ~test r) ()

@@ -1,0 +1,15 @@
+(** Violation reports in the style of Fig. 7 (bottom).
+
+    "Line-Up encountered a non-linearizable history", followed by the test,
+    the thread/op table of the violating history's section, and the
+    interleaving — enough to understand the misbehavior without any
+    knowledge of the implementation. *)
+
+val pp_check_result :
+  Format.formatter -> adapter:Adapter.t -> test:Test_matrix.t -> Check.result -> unit
+
+val check_result_to_string : adapter:Adapter.t -> test:Test_matrix.t -> Check.result -> string
+
+(** One-line verdict, e.g. ["PASS (1680 serial histories, 3120 executions)"]
+    or ["FAIL: non-linearizable history"]. *)
+val summary : Check.result -> string

@@ -1,0 +1,97 @@
+module Invocation = Lineup_history.Invocation
+
+type t = {
+  columns : Invocation.t list array;
+  init : Invocation.t list;
+  final : Invocation.t list;
+}
+
+let make ?(init = []) ?(final = []) columns = { columns = Array.of_list columns; init; final }
+let num_threads m = Array.length m.columns
+let num_invocations m = Array.fold_left (fun acc c -> acc + List.length c) 0 m.columns
+
+let dims m =
+  let rows = Array.fold_left (fun acc c -> max acc (List.length c)) 0 m.columns in
+  rows, Array.length m.columns
+
+let is_prefix m m' =
+  let col_prefix c c' =
+    let rec go = function
+      | [], _ -> true
+      | x :: xs, y :: ys -> Invocation.equal x y && go (xs, ys)
+      | _ :: _, [] -> false
+    in
+    go (c, c')
+  in
+  Array.length m.columns <= Array.length m'.columns
+  && Array.for_all Fun.id
+       (Array.mapi (fun i c -> col_prefix c m'.columns.(i)) m.columns)
+  && List.equal Invocation.equal m.init m'.init
+  && List.equal Invocation.equal m.final m'.final
+
+let equal m m' =
+  Array.length m.columns = Array.length m'.columns
+  && Array.for_all2 (List.equal Invocation.equal) m.columns m'.columns
+  && List.equal Invocation.equal m.init m'.init
+  && List.equal Invocation.equal m.final m'.final
+
+let pp ppf m =
+  let pp_col ppf (i, col) =
+    Fmt.pf ppf "%s: %a"
+      (Lineup_history.Event.thread_label i)
+      (Fmt.list ~sep:(Fmt.any "; ") Invocation.pp)
+      col
+  in
+  let cols = Array.to_list (Array.mapi (fun i c -> i, c) m.columns) in
+  Fmt.pf ppf "@[<v>";
+  if m.init <> [] then
+    Fmt.pf ppf "init: %a@," (Fmt.list ~sep:(Fmt.any "; ") Invocation.pp) m.init;
+  Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp_col) cols;
+  if m.final <> [] then
+    Fmt.pf ppf "@,final: %a" (Fmt.list ~sep:(Fmt.any "; ") Invocation.pp) m.final;
+  Fmt.pf ppf "@]"
+
+let enumerate ~invocations ~rows ~cols =
+  let invs = Array.of_list invocations in
+  let k = Array.length invs in
+  if k = 0 then invalid_arg "Test_matrix.enumerate: empty invocation set";
+  let cells = rows * cols in
+  (* Enumerate assignments of cells to invocation indices as base-k counters. *)
+  let of_counter counter =
+    let column c = List.init rows (fun r -> invs.(counter.((c * rows) + r))) in
+    { columns = Array.init cols column; init = []; final = [] }
+  in
+  let rec next counter i =
+    if i >= cells then None
+    else if counter.(i) + 1 < k then begin
+      counter.(i) <- counter.(i) + 1;
+      Some counter
+    end
+    else begin
+      counter.(i) <- 0;
+      next counter (i + 1)
+    end
+  in
+  let rec seq counter () =
+    match counter with
+    | None -> Seq.Nil
+    | Some c ->
+      let m = of_counter c in
+      let c' = next (Array.copy c) 0 in
+      Seq.Cons (m, seq c')
+  in
+  seq (Some (Array.make cells 0))
+
+let random ?(init = []) ?(final = []) ~rng ~invocations ~rows ~cols () =
+  let invs = Array.of_list invocations in
+  let k = Array.length invs in
+  if k = 0 then invalid_arg "Test_matrix.random: empty invocation set";
+  let column _ = List.init rows (fun _ -> invs.(Random.State.int rng k)) in
+  { columns = Array.init cols column; init; final }
+
+let random_seqs ?(init = []) ?(final = []) ~rng ~sequences ~rows ~cols () =
+  let seqs = Array.of_list sequences in
+  let k = Array.length seqs in
+  if k = 0 then invalid_arg "Test_matrix.random_seqs: empty sequence set";
+  let column _ = List.concat (List.init rows (fun _ -> seqs.(Random.State.int rng k))) in
+  { columns = Array.init cols column; init; final }

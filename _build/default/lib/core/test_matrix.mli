@@ -1,0 +1,73 @@
+(** Finite tests (Section 3.1): a map from threads to invocation sequences,
+    conveniently viewed as a matrix whose columns are threads.
+
+    Following Section 4.3, a test may also carry [init] and [final]
+    invocation sequences: [init] runs before the threads start (unrecorded,
+    single-threaded), [final] runs after all threads complete (recorded as
+    operations of an extra observer thread) — useful to seed state and to
+    observe the final state. *)
+
+type t = {
+  columns : Lineup_history.Invocation.t list array;
+      (** [columns.(t)] is [m(t)], the invocation sequence of thread [t] *)
+  init : Lineup_history.Invocation.t list;
+  final : Lineup_history.Invocation.t list;
+}
+
+val make :
+  ?init:Lineup_history.Invocation.t list ->
+  ?final:Lineup_history.Invocation.t list ->
+  Lineup_history.Invocation.t list list ->
+  t
+
+val num_threads : t -> int
+
+(** Total number of invocations across all columns (excluding init/final). *)
+val num_invocations : t -> int
+
+(** [dims m] = (max column length, number of columns) — the paper's
+    "p × q matrix" view. *)
+val dims : t -> int * int
+
+(** [is_prefix m m'] — [m(t)] is a prefix of [m'(t)] for all [t] (Section
+    3.1); init and final sequences must be equal. *)
+val is_prefix : t -> t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** All tests of dimension [rows × cols] with entries drawn from
+    [invocations] — the paper's [M_{p×q}^I]. The sequence is lazy;
+    there are [|I|^(rows*cols)] elements. *)
+val enumerate :
+  invocations:Lineup_history.Invocation.t list -> rows:int -> cols:int -> t Seq.t
+
+(** A uniformly random element of [M_{rows×cols}^I], with optional fixed
+    init/final sequences (§4.3: "initial and final sequences of operations
+    to perform before and after each test"). *)
+val random :
+  ?init:Lineup_history.Invocation.t list ->
+  ?final:Lineup_history.Invocation.t list ->
+  rng:Random.State.t ->
+  invocations:Lineup_history.Invocation.t list ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  t
+
+(** [random_seqs ~sequences ~rows ~cols] draws whole invocation {e
+    sequences} per cell instead of single invocations — §4.3: "We also allow
+    users to specify entire sequences of invocations to be used when
+    constructing tests. Any professional experience of the tester about how
+    to construct effective tests can thus be easily integrated". Each column
+    is the concatenation of [rows] sequences drawn uniformly from
+    [sequences]. *)
+val random_seqs :
+  ?init:Lineup_history.Invocation.t list ->
+  ?final:Lineup_history.Invocation.t list ->
+  rng:Random.State.t ->
+  sequences:Lineup_history.Invocation.t list list ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  t

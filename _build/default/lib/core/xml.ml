@@ -1,0 +1,213 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      let rest = String.sub s !i (min 6 (n - !i)) in
+      let emit ent c =
+        Buffer.add_char buf c;
+        i := !i + String.length ent
+      in
+      if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then emit "&amp;" '&'
+      else if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then emit "&lt;" '<'
+      else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then emit "&gt;" '>'
+      else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;" then emit "&quot;" '"'
+      else begin
+        Buffer.add_char buf '&';
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let rec render buf indent node =
+  let pad = String.make indent ' ' in
+  match node with
+  | Text s ->
+    Buffer.add_string buf pad;
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '\n'
+  | Element (tag, attrs, children) ->
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape v);
+        Buffer.add_char buf '"')
+      attrs;
+    (match children with
+     | [] -> Buffer.add_string buf "/>\n"
+     | [ Text s ] ->
+       (* single text child inline, matching the compact style of Fig. 7 *)
+       Buffer.add_char buf '>';
+       Buffer.add_string buf (escape s);
+       Buffer.add_string buf "</";
+       Buffer.add_string buf tag;
+       Buffer.add_string buf ">\n"
+     | children ->
+       Buffer.add_string buf ">\n";
+       List.iter (render buf (indent + 2)) children;
+       Buffer.add_string buf pad;
+       Buffer.add_string buf "</";
+       Buffer.add_string buf tag;
+       Buffer.add_string buf ">\n")
+
+let to_string node =
+  let buf = Buffer.create 1024 in
+  render buf 0 node;
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+exception Malformed of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error msg = raise (Malformed (Fmt.str "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && input.[!pos] = c then incr pos else error (Fmt.str "expected %C" c)
+  in
+  let is_name_char c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '.' -> true | _ -> false
+  in
+  let parse_name () =
+    let start = !pos in
+    while !pos < n && is_name_char input.[!pos] do
+      incr pos
+    done;
+    if !pos = start then error "expected name";
+    String.sub input start (!pos - start)
+  in
+  let parse_attr_value () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && input.[!pos] <> '"' do
+      incr pos
+    done;
+    if !pos >= n then error "unterminated attribute value";
+    let v = String.sub input start (!pos - start) in
+    expect '"';
+    unescape v
+  in
+  let rec parse_element () =
+    expect '<';
+    let tag = parse_name () in
+    let attrs = ref [] in
+    let rec attrs_loop () =
+      skip_ws ();
+      match peek () with
+      | Some '/' | Some '>' -> ()
+      | Some c when is_name_char c ->
+        let k = parse_name () in
+        skip_ws ();
+        expect '=';
+        skip_ws ();
+        let v = parse_attr_value () in
+        attrs := (k, v) :: !attrs;
+        attrs_loop ()
+      | _ -> error "malformed attribute list"
+    in
+    attrs_loop ();
+    let attrs = List.rev !attrs in
+    match peek () with
+    | Some '/' ->
+      incr pos;
+      expect '>';
+      Element (tag, attrs, [])
+    | Some '>' ->
+      incr pos;
+      let children = parse_children tag in
+      Element (tag, attrs, children)
+    | _ -> error "malformed tag"
+  and parse_children tag =
+    let children = ref [] in
+    let finished = ref false in
+    while not !finished do
+      (* gather text up to the next '<' *)
+      let start = !pos in
+      while !pos < n && input.[!pos] <> '<' do
+        incr pos
+      done;
+      if !pos > start then begin
+        let raw = String.sub input start (!pos - start) in
+        if String.trim raw <> "" then children := Text (unescape (String.trim raw)) :: !children
+      end;
+      if !pos >= n then error (Fmt.str "unterminated element <%s>" tag);
+      if !pos + 1 < n && input.[!pos + 1] = '/' then begin
+        pos := !pos + 2;
+        let closing = parse_name () in
+        if closing <> tag then error (Fmt.str "mismatched closing tag </%s> for <%s>" closing tag);
+        skip_ws ();
+        expect '>';
+        finished := true
+      end
+      else children := parse_element () :: !children
+    done;
+    List.rev !children
+  in
+  skip_ws ();
+  match parse_element () with
+  | node ->
+    skip_ws ();
+    if !pos <> n then invalid_arg "Xml.of_string: trailing input";
+    node
+  | exception Malformed msg -> invalid_arg ("Xml.of_string: " ^ msg)
+
+let tag = function
+  | Element (t, _, _) -> t
+  | Text _ -> invalid_arg "Xml.tag: text node"
+
+let attr_opt node k =
+  match node with
+  | Element (_, attrs, _) -> List.assoc_opt k attrs
+  | Text _ -> None
+
+let attr node k =
+  match attr_opt node k with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "Xml.attr: missing attribute %s" k)
+
+let children = function
+  | Element (_, _, c) -> c
+  | Text _ -> []
+
+let elements node =
+  List.filter_map
+    (function Element (t, _, _) as e -> Some (t, e) | Text _ -> None)
+    (children node)
+
+let text node =
+  String.concat "" (List.filter_map (function Text s -> Some s | Element _ -> None) (children node))

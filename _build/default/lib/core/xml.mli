@@ -1,0 +1,31 @@
+(** A minimal XML reader/writer, sufficient for the observation-file format
+    of Fig. 7 (elements, attributes, text content; no namespaces, CDATA,
+    comments or processing instructions). Self-contained so the library has
+    no external XML dependency. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+val escape : string -> string
+
+(** Render with 2-space indentation. Text nodes are escaped. *)
+val to_string : t -> string
+
+(** Parse one element (leading/trailing whitespace allowed). Raises
+    [Invalid_argument] on malformed input. Whitespace-only text nodes
+    between elements are dropped. *)
+val of_string : string -> t
+
+(** Helpers over parsed trees; raise [Invalid_argument] on shape errors. *)
+
+val attr : t -> string -> string
+val attr_opt : t -> string -> string option
+val children : t -> t list
+val elements : t -> (string * t) list
+(** child elements with their tags *)
+
+val text : t -> string
+(** concatenated text content of an element *)
+
+val tag : t -> string

@@ -1,0 +1,1 @@
+lib/history/event.ml: Char Fmt Invocation Lineup_value String

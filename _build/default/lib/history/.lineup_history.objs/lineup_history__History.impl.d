@@ -1,0 +1,1 @@
+lib/history/history.ml: Bool Event Fmt Hashtbl Int Invocation Lineup_value List Op String

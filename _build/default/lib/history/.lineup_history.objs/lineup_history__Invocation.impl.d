@@ -1,0 +1,1 @@
+lib/history/invocation.ml: Fmt Hashtbl Lineup_value String

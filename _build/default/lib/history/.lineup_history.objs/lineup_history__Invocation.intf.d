@@ -1,0 +1,1 @@
+lib/history/invocation.mli: Format Lineup_value

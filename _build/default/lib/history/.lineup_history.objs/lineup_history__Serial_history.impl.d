@@ -1,0 +1,1 @@
+lib/history/serial_history.ml: Event Fmt Hashtbl History Int Invocation Lineup_value List Option Set

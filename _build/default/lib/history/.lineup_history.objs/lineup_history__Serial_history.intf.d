@@ -1,0 +1,1 @@
+lib/history/serial_history.mli: Format History Invocation Lineup_value Set

@@ -1,0 +1,1 @@
+lib/history/witness.ml: Hashtbl History Int Invocation Lineup_value List Op Option Serial_history

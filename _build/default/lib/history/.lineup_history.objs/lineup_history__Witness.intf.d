@@ -1,0 +1,1 @@
+lib/history/witness.mli: History Op Serial_history

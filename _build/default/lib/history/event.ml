@@ -1,0 +1,35 @@
+module Value = Lineup_value.Value
+
+type dir =
+  | Call of Invocation.t
+  | Return of Value.t
+
+type t = {
+  tid : int;
+  op_index : int;
+  dir : dir;
+}
+
+let call ~tid ~op_index inv = { tid; op_index; dir = Call inv }
+let return ~tid ~op_index v = { tid; op_index; dir = Return v }
+let is_call e = match e.dir with Call _ -> true | Return _ -> false
+let is_return e = match e.dir with Return _ -> true | Call _ -> false
+
+let equal e1 e2 =
+  e1.tid = e2.tid
+  && e1.op_index = e2.op_index
+  &&
+  match e1.dir, e2.dir with
+  | Call i1, Call i2 -> Invocation.equal i1 i2
+  | Return v1, Return v2 -> Value.equal v1 v2
+  | (Call _ | Return _), _ -> false
+
+let thread_label tid =
+  let letter = Char.chr (Char.code 'A' + (tid mod 26)) in
+  if tid < 26 then String.make 1 letter
+  else Fmt.str "%c%d" letter (tid / 26)
+
+let pp ppf e =
+  match e.dir with
+  | Call inv -> Fmt.pf ppf "(call %a %s)" Invocation.pp inv (thread_label e.tid)
+  | Return v -> Fmt.pf ppf "(ret %a %s)" Value.pp v (thread_label e.tid)

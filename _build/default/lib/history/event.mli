@@ -1,0 +1,31 @@
+(** Call and return events (Section 2.1.1).
+
+    Since Theorem 1 of Herlihy & Wing reduces multi-object linearizability to
+    single-object linearizability, and the paper checks one object at a time,
+    the object component of events is implicit: every event in a history
+    refers to the single object under test.
+
+    [op_index] is the per-thread sequence number of the operation the event
+    belongs to; it pairs each return with its call and lets histories with
+    identical invocations by the same thread be disambiguated. *)
+
+type dir =
+  | Call of Invocation.t
+  | Return of Lineup_value.Value.t
+
+type t = {
+  tid : int;
+  op_index : int;
+  dir : dir;
+}
+
+val call : tid:int -> op_index:int -> Invocation.t -> t
+val return : tid:int -> op_index:int -> Lineup_value.Value.t -> t
+val is_call : t -> bool
+val is_return : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** [thread_label tid] is the paper's thread naming: 0 ↦ "A", 1 ↦ "B", …,
+    26 ↦ "A1", and so on. *)
+val thread_label : int -> string

@@ -1,0 +1,173 @@
+module Value = Lineup_value.Value
+
+type t = {
+  events : Event.t list;
+  stuck : bool;
+}
+
+(* Well-formedness (Section 2.1.1): every thread subhistory is serial. We
+   additionally require the [op_index] bookkeeping to be consistent: the i-th
+   operation of thread t carries index i. *)
+let check_well_formed events =
+  let tbl : (int, [ `Expect_call of int | `Expect_return of int * Invocation.t ]) Hashtbl.t =
+    Hashtbl.create 7
+  in
+  let fail fmt = Fmt.kstr invalid_arg ("History.make: " ^^ fmt) in
+  List.iter
+    (fun (e : Event.t) ->
+      let state =
+        match Hashtbl.find_opt tbl e.tid with
+        | Some s -> s
+        | None -> `Expect_call 0
+      in
+      match e.dir, state with
+      | Event.Call inv, `Expect_call idx ->
+        if e.op_index <> idx then
+          fail "thread %d: call %a has op_index %d, expected %d" e.tid Invocation.pp inv
+            e.op_index idx;
+        Hashtbl.replace tbl e.tid (`Expect_return (idx, inv))
+      | Event.Call inv, `Expect_return _ ->
+        fail "thread %d: call %a while an operation is pending" e.tid Invocation.pp inv
+      | Event.Return v, `Expect_call _ ->
+        fail "thread %d: return %a without a pending call" e.tid Value.pp v
+      | Event.Return _, `Expect_return (idx, _) ->
+        if e.op_index <> idx then
+          fail "thread %d: return has op_index %d, expected %d" e.tid e.op_index idx;
+        Hashtbl.replace tbl e.tid (`Expect_call (idx + 1)))
+    events
+
+let make ?(stuck = false) events =
+  check_well_formed events;
+  { events; stuck }
+
+let events h = h.events
+let is_stuck h = h.stuck
+let length h = List.length h.events
+let is_empty h = match h.events with [] -> true | _ :: _ -> false
+
+let threads h =
+  List.sort_uniq Int.compare (List.map (fun (e : Event.t) -> e.tid) h.events)
+
+let thread_sub h t = List.filter (fun (e : Event.t) -> e.tid = t) h.events
+
+let ops h =
+  (* Pair each call with its matching return by (tid, op_index). *)
+  let returns : (int * int, Value.t * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun pos (e : Event.t) ->
+      match e.dir with
+      | Event.Return v -> Hashtbl.replace returns (e.tid, e.op_index) (v, pos)
+      | Event.Call _ -> ())
+    h.events;
+  List.concat
+    (List.mapi
+       (fun pos (e : Event.t) ->
+         match e.dir with
+         | Event.Call inv ->
+           let resp, ret_pos =
+             match Hashtbl.find_opt returns (e.tid, e.op_index) with
+             | Some (v, rp) -> Some v, Some rp
+             | None -> None, None
+           in
+           [ { Op.tid = e.tid; op_index = e.op_index; inv; resp; call_pos = pos; ret_pos } ]
+         | Event.Return _ -> [])
+       h.events)
+
+let pending_ops h = List.filter Op.is_pending (ops h)
+let complete_ops h = List.filter Op.is_complete (ops h)
+let is_complete h = match pending_ops h with [] -> true | _ :: _ -> false
+
+let drop_pending_calls events =
+  let has_return : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      if Event.is_return e then Hashtbl.replace has_return (e.tid, e.op_index) ())
+    events;
+  List.filter
+    (fun (e : Event.t) ->
+      Event.is_return e || Hashtbl.mem has_return (e.tid, e.op_index))
+    events
+
+let complete h = { events = drop_pending_calls h.events; stuck = false }
+
+let is_serial h =
+  let rec go expecting events =
+    match expecting, events with
+    | None, [] -> true
+    | Some _, [] -> h.stuck (* a stuck serial history may end with a pending call *)
+    | None, ({ Event.dir = Event.Call _; _ } as e) :: rest -> go (Some e) rest
+    | None, { Event.dir = Event.Return _; _ } :: _ -> false
+    | Some _, { Event.dir = Event.Call _; _ } :: _ -> false
+    | Some (c : Event.t), ({ Event.dir = Event.Return _; _ } as r) :: rest ->
+      if r.Event.tid = c.Event.tid && r.Event.op_index = c.Event.op_index then go None rest
+      else false
+  in
+  go None h.events
+
+let restrict_to_pending h (e : Op.t) =
+  if not h.stuck then invalid_arg "History.restrict_to_pending: history is not stuck";
+  if Op.is_complete e then invalid_arg "History.restrict_to_pending: operation is complete";
+  let keep (ev : Event.t) =
+    Event.is_return ev
+    || (ev.tid = e.tid && ev.op_index = e.op_index)
+    ||
+    (* a call is kept when its return is present *)
+    List.exists
+      (fun (r : Event.t) ->
+        Event.is_return r && r.tid = ev.tid && r.op_index = ev.op_index)
+      h.events
+  in
+  let found =
+    List.exists
+      (fun (ev : Event.t) ->
+        Event.is_call ev && ev.tid = e.tid && ev.op_index = e.op_index
+        && not
+             (List.exists
+                (fun (r : Event.t) ->
+                  Event.is_return r && r.tid = ev.tid && r.op_index = ev.op_index)
+                h.events))
+      h.events
+  in
+  if not found then invalid_arg "History.restrict_to_pending: operation not pending in history";
+  { events = List.filter keep h.events; stuck = true }
+
+let prefixes h =
+  let rec go acc rev_prefix = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let rev_prefix = e :: rev_prefix in
+      go ({ events = List.rev rev_prefix; stuck = false } :: acc) rev_prefix rest
+  in
+  go [ { events = []; stuck = false } ] [] h.events
+
+let equal h1 h2 =
+  Bool.equal h1.stuck h2.stuck && List.equal Event.equal h1.events h2.events
+
+let pp ppf h =
+  Fmt.pf ppf "@[<v>%a%s@]"
+    (Fmt.list ~sep:Fmt.cut Event.pp)
+    h.events
+    (if h.stuck then " #" else "")
+
+let pp_interleaving ppf h =
+  (* Assign ids in call order, as Fig. 7 does. *)
+  let ids : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 1 in
+  List.iter
+    (fun (e : Event.t) ->
+      if Event.is_call e then begin
+        Hashtbl.replace ids (e.tid, e.op_index) !next;
+        incr next
+      end)
+    h.events;
+  let tokens =
+    List.map
+      (fun (e : Event.t) ->
+        let id = Hashtbl.find ids (e.tid, e.op_index) in
+        match e.dir with
+        | Event.Call _ -> Fmt.str "%d[" id
+        | Event.Return _ -> Fmt.str "]%d" id)
+      h.events
+  in
+  let tokens = if h.stuck then tokens @ [ "#" ] else tokens in
+  Fmt.string ppf (String.concat " " tokens)

@@ -1,0 +1,22 @@
+module Value = Lineup_value.Value
+
+type t = {
+  name : string;
+  arg : Value.t;
+}
+
+let make ?(arg = Value.Unit) name = { name; arg }
+let equal i1 i2 = String.equal i1.name i2.name && Value.equal i1.arg i2.arg
+
+let compare i1 i2 =
+  let c = String.compare i1.name i2.name in
+  if c <> 0 then c else Value.compare i1.arg i2.arg
+
+let hash i = (Hashtbl.hash i.name * 31) + Value.hash i.arg
+
+let pp ppf i =
+  match i.arg with
+  | Value.Unit -> Fmt.string ppf i.name
+  | arg -> Fmt.pf ppf "%s(%a)" i.name Value.pp arg
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,20 @@
+(** Invocations: an operation name together with its argument(s).
+
+    This is the [I_o] set of Section 2.1 of the paper. All operations of an
+    object under test are identified by name and argument; the response is a
+    separate {!Lineup_value.Value.t}. *)
+
+type t = {
+  name : string;
+  arg : Lineup_value.Value.t;
+}
+
+val make : ?arg:Lineup_value.Value.t -> string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [to_string i] prints e.g. ["Add(200)"] or ["TryTake"] (unit arguments are
+    omitted, matching the paper's notation). *)
+val to_string : t -> string

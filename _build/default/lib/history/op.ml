@@ -1,0 +1,32 @@
+module Value = Lineup_value.Value
+
+type t = {
+  tid : int;
+  op_index : int;
+  inv : Invocation.t;
+  resp : Value.t option;
+  call_pos : int;
+  ret_pos : int option;
+}
+
+let is_pending op = Option.is_none op.resp
+let is_complete op = Option.is_some op.resp
+
+let precedes e1 e2 =
+  match e1.ret_pos with
+  | None -> false
+  | Some r -> r < e2.call_pos
+
+let overlapping e1 e2 =
+  not (e1.tid = e2.tid && e1.op_index = e2.op_index)
+  && (not (precedes e1 e2))
+  && not (precedes e2 e1)
+
+let key op = op.tid, op.op_index
+
+let pp ppf op =
+  match op.resp with
+  | Some resp ->
+    Fmt.pf ppf "[%a/%a %s]" Invocation.pp op.inv Value.pp resp
+      (Event.thread_label op.tid)
+  | None -> Fmt.pf ppf "[%a/* %s]" Invocation.pp op.inv (Event.thread_label op.tid)

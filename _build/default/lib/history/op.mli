@@ -1,0 +1,34 @@
+(** Operations (Section 2.1.3): an invocation paired with its matching
+    response, if any.
+
+    [call_pos] (and [ret_pos] when complete) locate the operation's events in
+    the enclosing history, giving a cheap implementation of the precedence
+    order [<H]: [e1 <H e2] iff the return of [e1] occurs before the call of
+    [e2]. *)
+
+type t = {
+  tid : int;
+  op_index : int;  (** per-thread sequence number *)
+  inv : Invocation.t;
+  resp : Lineup_value.Value.t option;  (** [None] when the operation is pending *)
+  call_pos : int;
+  ret_pos : int option;
+}
+
+val is_pending : t -> bool
+val is_complete : t -> bool
+
+(** [precedes e1 e2] is the irreflexive partial order [<H] of the paper:
+    the response of [e1] precedes the invocation of [e2]. A pending operation
+    never precedes anything. *)
+val precedes : t -> t -> bool
+
+(** [overlapping e1 e2] holds when neither precedes the other (and they are
+    distinct operations). *)
+val overlapping : t -> t -> bool
+
+(** Identity of an operation within its history: thread id and per-thread
+    index. *)
+val key : t -> int * int
+
+val pp : Format.formatter -> t -> unit

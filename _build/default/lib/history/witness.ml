@@ -1,0 +1,80 @@
+module Value = Lineup_value.Value
+
+(* Per-thread operation sequences of a history: invocation and (optional)
+   response per operation, in per-thread order. *)
+let history_thread_key h =
+  let ops = History.ops h in
+  let tbl : (int, (Invocation.t * Value.t option) list) Hashtbl.t = Hashtbl.create 7 in
+  List.iter
+    (fun (op : Op.t) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt tbl op.tid) in
+      Hashtbl.replace tbl op.tid ((op.inv, op.resp) :: l))
+    ops;
+  Hashtbl.fold (fun tid l acc -> (tid, List.rev l) :: acc) tbl []
+  |> List.sort (fun (t1, _) (t2, _) -> Int.compare t1 t2)
+
+let keys_equal k1 k2 =
+  List.equal
+    (fun (t1, l1) (t2, l2) ->
+      t1 = t2
+      && List.equal
+           (fun (i1, r1) (i2, r2) ->
+             Invocation.equal i1 i2 && Option.equal Value.equal r1 r2)
+           l1 l2)
+    k1 k2
+
+(* Position of each operation of [serial] in its linear order, keyed by
+   (tid, per-thread index). A stuck pending call sits after all entries. *)
+let serial_positions (serial : Serial_history.t) =
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let per_thread : (int, int) Hashtbl.t = Hashtbl.create 7 in
+  let next_index tid =
+    let i = Option.value ~default:0 (Hashtbl.find_opt per_thread tid) in
+    Hashtbl.replace per_thread tid (i + 1);
+    i
+  in
+  List.iteri
+    (fun pos (e : Serial_history.entry) ->
+      Hashtbl.replace tbl (e.tid, next_index e.tid) pos)
+    serial.entries;
+  (match serial.stuck with
+   | None -> ()
+   | Some (tid, _) ->
+     Hashtbl.replace tbl (tid, next_index tid) (List.length serial.entries));
+  tbl
+
+let is_witness ~serial h =
+  (* Condition 2: identical thread subhistories (as operation sequences). *)
+  keys_equal (Serial_history.thread_key serial) (history_thread_key h)
+  &&
+  (* Condition 3: <H ⊆ <S. *)
+  let pos = serial_positions serial in
+  let ops = History.ops h in
+  List.for_all
+    (fun (e1 : Op.t) ->
+      List.for_all
+        (fun (e2 : Op.t) ->
+          if Op.precedes e1 e2 then
+            Hashtbl.find pos (Op.key e1) < Hashtbl.find pos (Op.key e2)
+          else true)
+        ops)
+    ops
+
+let find_witness ~specs h = List.find_opt (fun serial -> is_witness ~serial h) specs
+
+let linearizable_full ~specs h =
+  if not (History.is_complete h) then
+    invalid_arg "Witness.linearizable_full: history has pending operations";
+  Option.is_some (find_witness ~specs h)
+
+let linearizable_stuck ~specs h =
+  if not (History.is_stuck h) then
+    invalid_arg "Witness.linearizable_stuck: history is not stuck";
+  let pending = History.pending_ops h in
+  let justified e =
+    let he = History.restrict_to_pending h e in
+    Option.is_some (find_witness ~specs he)
+  in
+  match List.find_opt (fun e -> not (justified e)) pending with
+  | None -> Ok ()
+  | Some e -> Error e

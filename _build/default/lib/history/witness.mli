@@ -1,0 +1,28 @@
+(** Serial-witness checking (Section 2.1.4).
+
+    A serial history [S] is a witness for a history [H] when (1) [S] is
+    serial, (2) [S|t = H|t] for every thread [t], and (3) [<H ⊆ <S]. This
+    module implements the check for both full histories (Definition 1, with
+    no pending operations) and stuck histories restricted to a single pending
+    operation (Definition 2, the [H[e]] shape). *)
+
+(** [is_witness ~serial h] decides whether [serial] is a serial witness for
+    [h]. [h] may be a complete history (full-history check) or a stuck
+    history with exactly one pending operation (the [H[e]] of Definition 2);
+    histories with several pending operations never match, since a serial
+    history has at most one pending call, in final position. *)
+val is_witness : serial:Serial_history.t -> History.t -> bool
+
+(** [linearizable_full ~specs h] — Definition 1 for complete histories: some
+    serial history in [specs] is a witness for [h]. *)
+val linearizable_full : specs:Serial_history.t list -> History.t -> bool
+
+(** [linearizable_stuck ~specs h] — Definition 2: for every pending operation
+    [e] of the stuck history [h], [specs] contains a serial witness for
+    [H[e]]. Returns [Ok ()] or [Error e] for the first unjustified pending
+    operation. *)
+val linearizable_stuck :
+  specs:Serial_history.t list -> History.t -> (unit, Op.t) result
+
+(** [find_witness ~specs h] returns some witness if one exists. *)
+val find_witness : specs:Serial_history.t list -> History.t -> Serial_history.t option

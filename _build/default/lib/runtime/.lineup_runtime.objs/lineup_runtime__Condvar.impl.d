@@ -1,0 +1,1 @@
+lib/runtime/condvar.ml: Exec_ctx Fmt Mutex_ Rt

@@ -1,0 +1,1 @@
+lib/runtime/condvar.mli: Mutex_

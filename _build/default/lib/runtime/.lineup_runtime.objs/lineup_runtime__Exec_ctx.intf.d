@@ -1,0 +1,1 @@
+lib/runtime/exec_ctx.mli: Format

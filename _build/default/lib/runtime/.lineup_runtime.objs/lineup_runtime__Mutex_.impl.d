@@ -1,0 +1,1 @@
+lib/runtime/mutex_.ml: Exec_ctx Fmt Option Rt

@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Effect Exec_ctx

@@ -1,0 +1,1 @@
+lib/runtime/rt.mli: Effect Exec_ctx

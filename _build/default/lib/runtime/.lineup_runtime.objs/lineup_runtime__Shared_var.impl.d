@@ -1,0 +1,1 @@
+lib/runtime/shared_var.ml: Exec_ctx Fmt Rt

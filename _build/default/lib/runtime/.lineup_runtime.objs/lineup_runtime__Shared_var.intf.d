@@ -1,0 +1,1 @@
+lib/runtime/shared_var.mli:

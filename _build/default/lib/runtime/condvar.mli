@@ -1,0 +1,24 @@
+(** Monitor-style condition variables with .NET [Monitor.Wait]/[Pulse]
+    semantics.
+
+    Unlike {!Rt.block} (whose predicate is continuously re-evaluated, so a
+    wake-up can never be lost), a condition variable only wakes waiters that
+    registered {e before} the pulse — faithfully modelling the lost-wakeup
+    failure mode of monitor-based code, which several of the seeded bugs in
+    [lineup_conc] rely on. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** [wait cv m] atomically releases [m] (which the caller must hold), blocks
+    until a subsequent {!pulse_all} or a covering {!pulse}, then reacquires
+    [m]. *)
+val wait : t -> Mutex_.t -> unit
+
+(** Wake all current waiters. The caller must hold the associated mutex for
+    the usual reasons; this is asserted when [m] is given. *)
+val pulse_all : ?m:Mutex_.t -> t -> unit
+
+(** Wake one waiter (the longest-waiting). *)
+val pulse : ?m:Mutex_.t -> t -> unit

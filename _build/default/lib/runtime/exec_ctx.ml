@@ -1,0 +1,68 @@
+type access_kind = Read | Write | Rmw
+
+type entry =
+  | Access of {
+      tid : int;
+      loc : int;
+      loc_name : string;
+      kind : access_kind;
+      volatile : bool;
+    }
+  | Lock_acquire of { tid : int; lock : int; name : string }
+  | Lock_release of { tid : int; lock : int; name : string }
+  | Op_start of { tid : int; op_index : int }
+  | Op_end of { tid : int; op_index : int }
+
+(* All per-execution state is domain-local so that independent explorations
+   (e.g. Random_check.run_parallel, §4.3: random sampling "is embarrassingly
+   parallel") can run on separate domains without interference. *)
+type state = {
+  mutable next_loc : int;
+  mutable tid : int;
+  mutable logging : bool;
+  mutable log_entries : entry list;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { next_loc = 0; tid = -1; logging = false; log_entries = [] })
+
+let state () = Domain.DLS.get key
+
+let reset () =
+  let s = state () in
+  s.next_loc <- 0;
+  s.tid <- -1;
+  s.log_entries <- []
+
+let fresh_loc () =
+  let s = state () in
+  let id = s.next_loc in
+  s.next_loc <- id + 1;
+  id
+
+let set_current_tid t = (state ()).tid <- t
+let current_tid () = (state ()).tid
+let set_logging b = (state ()).logging <- b
+let logging_enabled () = (state ()).logging
+
+let log e =
+  let s = state () in
+  if s.logging then s.log_entries <- e :: s.log_entries
+
+let current_log () = List.rev (state ()).log_entries
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Rmw -> Fmt.string ppf "rmw"
+
+let pp_entry ppf = function
+  | Access a ->
+    Fmt.pf ppf "T%d %a%s %s" a.tid pp_kind a.kind
+      (if a.volatile then " (volatile)" else "")
+      a.loc_name
+  | Lock_acquire l -> Fmt.pf ppf "T%d acquire %s" l.tid l.name
+  | Lock_release l -> Fmt.pf ppf "T%d release %s" l.tid l.name
+  | Op_start o -> Fmt.pf ppf "T%d op-start #%d" o.tid o.op_index
+  | Op_end o -> Fmt.pf ppf "T%d op-end #%d" o.tid o.op_index

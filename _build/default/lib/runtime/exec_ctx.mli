@@ -1,0 +1,46 @@
+(** Per-execution mutable context.
+
+    The stateless model checker re-runs the program under test from scratch
+    for every explored schedule. This module holds the little bits of global
+    state that must be reset between executions: the shared-location id
+    counter, the identity of the currently running thread (maintained by the
+    scheduler; execution is cooperative and single-domain, so a plain mutable
+    cell is sound), and the access log consumed by the comparison checkers of
+    Section 5.6 (data-race detection, conflict-serializability). *)
+
+type access_kind = Read | Write | Rmw
+
+type entry =
+  | Access of {
+      tid : int;
+      loc : int;
+      loc_name : string;
+      kind : access_kind;
+      volatile : bool;
+    }
+  | Lock_acquire of { tid : int; lock : int; name : string }
+  | Lock_release of { tid : int; lock : int; name : string }
+  | Op_start of { tid : int; op_index : int }
+  | Op_end of { tid : int; op_index : int }
+
+(** [reset ()] clears all per-execution state. Called by the scheduler before
+    each execution. *)
+val reset : unit -> unit
+
+(** Fresh shared-location id. Allocation order is deterministic across
+    replayed executions, so ids are stable. *)
+val fresh_loc : unit -> int
+
+val set_current_tid : int -> unit
+val current_tid : unit -> int
+
+(** Access logging is off by default (exploration-speed); the comparison
+    checkers enable it. *)
+val set_logging : bool -> unit
+val logging_enabled : unit -> bool
+val log : entry -> unit
+
+(** The log of the current execution, in execution order. *)
+val current_log : unit -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit

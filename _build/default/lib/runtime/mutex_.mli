@@ -1,0 +1,35 @@
+(** Instrumented mutual-exclusion locks.
+
+    Non-reentrant. Acquisition of a held lock blocks (disabled, not
+    spinning), so lock-induced deadlocks surface as stuck histories.
+
+    {!try_acquire_timed} models a .NET [Monitor.TryEnter(timeout)]: when the
+    lock is held, the outcome is a demonic choice between waiting and timing
+    out. The ConcurrentQueue bug of Fig. 1 in the paper was precisely an
+    accidental use of a timed acquire on a hot path. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+(** Blocks until the lock is free, then takes it. *)
+val acquire : t -> unit
+
+(** Takes the lock if free; never blocks. Returns whether it was taken. *)
+val try_acquire : t -> bool
+
+(** Like {!acquire}, but when the lock is held the model checker explores
+    both continuing to wait and timing out (returning [false]). *)
+val try_acquire_timed : t -> bool
+
+(** Releases the lock. Raises [Invalid_argument] when the calling thread does
+    not hold it. *)
+val release : t -> unit
+
+(** [holder m] is the thread currently holding [m], if any (no scheduling
+    point; for assertions and wake predicates). *)
+val holder : t -> int option
+
+(** [with_lock m f] = acquire; [f ()]; release — releasing on exceptions. *)
+val with_lock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,56 @@
+type sched_reason =
+  | Boundary
+  | Access of {
+      loc : int;
+      loc_name : string;
+      kind : Exec_ctx.access_kind;
+      volatile : bool;
+    }
+
+type _ Effect.t +=
+  | Sched : sched_reason -> unit Effect.t
+  | Block : (unit -> bool) * string -> unit Effect.t
+  | Choose : int * string -> int Effect.t
+  | Yield : unit Effect.t
+
+let sched r =
+  Effect.perform (Sched r);
+  match r with
+  | Boundary -> ()
+  | Access a ->
+    if Exec_ctx.logging_enabled () then
+      Exec_ctx.log
+        (Exec_ctx.Access
+           {
+             tid = Exec_ctx.current_tid ();
+             loc = a.loc;
+             loc_name = a.loc_name;
+             kind = a.kind;
+             volatile = a.volatile;
+           })
+
+let op_boundary () = sched Boundary
+let block ~wake what = if not (wake ()) then Effect.perform (Block (wake, what))
+let choose ?(what = "choice") n = Effect.perform (Choose (n, what))
+let yield () = Effect.perform Yield
+let self () = Exec_ctx.current_tid ()
+
+let run_inline (type a) (f : unit -> a) : a =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun x -> x);
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Sched _ -> Some (fun (k : (b, a) continuation) -> continue k ())
+          | Block (wake, what) ->
+            Some
+              (fun (k : (b, a) continuation) ->
+                if wake () then continue k ()
+                else failwith ("Rt.run_inline: blocked on " ^ what))
+          | Choose (_, _) -> Some (fun (k : (b, a) continuation) -> continue k 0)
+          | Yield -> Some (fun (k : (b, a) continuation) -> continue k ())
+          | _ -> None);
+    }

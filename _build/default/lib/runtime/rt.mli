@@ -1,0 +1,68 @@
+(** The instrumented concurrency interface.
+
+    Code under test is written against this module. Every shared-memory
+    access and synchronization operation performs an effect, giving the
+    scheduler (in [lineup_scheduler]) a point at which it may switch threads
+    — exactly the instrumentation CHESS obtains by binary rewriting of .NET
+    code. The effects are declared here; only the scheduler handles them.
+
+    Scheduling-point discipline:
+    - {!sched} with [Access _] precedes every shared read/write/RMW. The code
+      between a scheduling point and the next one executes atomically.
+    - {!sched} with [Boundary] is performed by the test harness at operation
+      call/return boundaries; in phase 1 (serial exploration) these are the
+      only points where the scheduler switches threads.
+    - {!block} suspends the thread until a wake predicate holds; blocked
+      threads are disabled, not spinning, so deadlocks are detected exactly
+      (Definition 2 of the paper needs this).
+    - {!choose} is demonic choice, used to model timing-dependent outcomes
+      such as lock-acquisition timeouts; the model checker explores every
+      branch.
+    - {!yield} marks a spin-loop iteration; the fair scheduler will not run
+      the yielding thread again until another enabled thread has run (the
+      fairness of Musuvathi & Qadeer 2008, which the paper relies on for
+      spin-loop-based implementations). *)
+
+type sched_reason =
+  | Boundary
+  | Access of {
+      loc : int;
+      loc_name : string;
+      kind : Exec_ctx.access_kind;
+      volatile : bool;
+    }
+
+type _ Effect.t +=
+  | Sched : sched_reason -> unit Effect.t
+  | Block : (unit -> bool) * string -> unit Effect.t
+  | Choose : int * string -> int Effect.t
+  | Yield : unit Effect.t
+
+(** [sched r] performs a scheduling point and logs the access (if any). *)
+val sched : sched_reason -> unit
+
+(** [op_boundary ()] = [sched Boundary]. *)
+val op_boundary : unit -> unit
+
+(** [block ~wake what] suspends the calling thread until [wake ()] holds. If
+    the predicate already holds, returns immediately (without a scheduling
+    point). [wake] must be pure reads of shared state — it is evaluated by
+    the scheduler and must not perform effects. [what] describes the awaited
+    condition for reports. *)
+val block : wake:(unit -> bool) -> string -> unit
+
+(** [choose ?what n] demonically picks a value in [0 .. n-1]; the model
+    checker explores all branches. *)
+val choose : ?what:string -> int -> int
+
+(** Spin-loop hint; see module description. *)
+val yield : unit -> unit
+
+(** Id of the currently running thread (0-based test-thread index). *)
+val self : unit -> int
+
+(** [run_inline f] evaluates [f ()] servicing its effects synchronously:
+    scheduling points are no-ops, [choose] always returns 0, and a [block]
+    whose predicate is false raises [Failure]. Used to run object
+    construction and pre-test initialization code outside the explorer. *)
+val run_inline : (unit -> 'a) -> 'a

@@ -1,0 +1,54 @@
+type 'a t = {
+  id : int;
+  name : string;
+  volatile : bool;
+  mutable v : 'a;
+}
+
+let make ?(volatile = false) ?name init =
+  let id = Exec_ctx.fresh_loc () in
+  let name = match name with Some n -> n | None -> Fmt.str "loc%d" id in
+  { id; name; volatile; v = init }
+
+let name x = x.name
+let id x = x.id
+
+let access x kind =
+  Rt.sched (Rt.Access { loc = x.id; loc_name = x.name; kind; volatile = x.volatile })
+
+let read x =
+  access x Exec_ctx.Read;
+  x.v
+
+let write x value =
+  access x Exec_ctx.Write;
+  x.v <- value
+
+let cas x expected desired =
+  access x Exec_ctx.Rmw;
+  if x.v == expected then begin
+    x.v <- desired;
+    true
+  end
+  else false
+
+let fetch_and_add x n =
+  access x Exec_ctx.Rmw;
+  let old = x.v in
+  x.v <- old + n;
+  old
+
+let exchange x value =
+  access x Exec_ctx.Rmw;
+  let old = x.v in
+  x.v <- value;
+  old
+
+let peek x = x.v
+let poke x value = x.v <- value
+
+let update x f =
+  access x Exec_ctx.Rmw;
+  let v = f x.v in
+  x.v <- v;
+  v

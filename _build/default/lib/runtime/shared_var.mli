@@ -1,0 +1,44 @@
+(** Instrumented shared memory cells.
+
+    Each read, write, or read-modify-write performs a scheduling point and is
+    logged for the comparison checkers. The code between the scheduling point
+    and the access runs atomically (cooperative scheduling), so {!cas} and
+    {!fetch_and_add} are atomic read-modify-writes — they model the
+    [Interlocked] operations of .NET.
+
+    [volatile] marks cells whose accesses establish happens-before edges in
+    the race detector (the disciplined-volatile pattern the paper observed in
+    the .NET implementations, Section 5.6). It does not change scheduling. *)
+
+type 'a t
+
+val make : ?volatile:bool -> ?name:string -> 'a -> 'a t
+val name : 'a t -> string
+val id : 'a t -> int
+
+val read : 'a t -> 'a
+val write : 'a t -> 'a -> unit
+
+(** [cas v expected desired] atomically: if the current value is physically
+    equal to [expected], store [desired] and return [true]; else return
+    [false]. Physical equality matches hardware CAS on pointers and unboxed
+    integers. *)
+val cas : 'a t -> 'a -> 'a -> bool
+
+(** Atomic fetch-and-add; returns the previous value. *)
+val fetch_and_add : int t -> int -> int
+
+(** Atomic exchange; returns the previous value. *)
+val exchange : 'a t -> 'a -> 'a
+
+(** [peek v] reads without a scheduling point or logging. For use inside
+    {!Rt.block} wake predicates and assertions only. *)
+val peek : 'a t -> 'a
+
+(** [poke v x] writes without a scheduling point or logging. For use in
+    object constructors and test setup only. *)
+val poke : 'a t -> 'a -> unit
+
+(** [update v f] atomically replaces the contents with [f (read v)] — a
+    single scheduling point, like a successful CAS loop collapsed. *)
+val update : 'a t -> ('a -> 'a) -> 'a

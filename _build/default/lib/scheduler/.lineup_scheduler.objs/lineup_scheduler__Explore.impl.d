@@ -1,0 +1,1 @@
+lib/scheduler/explore.ml: Array Effect Fmt Lineup_runtime List Option Random

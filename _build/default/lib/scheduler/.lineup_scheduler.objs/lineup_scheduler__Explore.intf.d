@@ -1,0 +1,1 @@
+lib/scheduler/explore.mli: Format Random

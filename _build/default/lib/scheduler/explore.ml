@@ -1,0 +1,496 @@
+module Rt = Lineup_runtime.Rt
+module Exec_ctx = Lineup_runtime.Exec_ctx
+
+type mode = Concurrent | Serial
+
+type config = {
+  mode : mode;
+  preemption_bound : int option;
+  max_steps : int;
+  max_executions : int option;
+}
+
+let default_config =
+  { mode = Concurrent; preemption_bound = Some 2; max_steps = 50_000; max_executions = None }
+
+let serial_config =
+  { mode = Serial; preemption_bound = None; max_steps = 50_000; max_executions = None }
+
+type exec_end =
+  | All_finished
+  | Deadlock of int list
+  | Serial_stuck of int
+  | Diverged
+
+type exec_outcome = {
+  exec_end : exec_end;
+  steps : int;
+  preemptions : int;
+  errors : (int * exn) list;
+}
+
+type stats = {
+  executions : int;
+  total_steps : int;
+  deadlocks : int;
+  divergences : int;
+  serial_stucks : int;
+  max_depth : int;
+  pruned_choices : int;
+  complete : bool;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "executions=%d steps=%d deadlocks=%d divergences=%d serial-stuck=%d max-depth=%d pruned=%d %s"
+    s.executions s.total_steps s.deadlocks s.divergences s.serial_stucks s.max_depth
+    s.pruned_choices
+    (if s.complete then "(exhaustive)" else "(budget-cut)")
+
+(* ------------------------------------------------------------------ *)
+(* Decision traces                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Decision records are shared between the replay prefix and the trace being
+   built, so mutating [chosen]/[untried] during backtracking persists into
+   the next execution. *)
+type decision =
+  | Thread of { mutable chosen : int; mutable untried : int list }
+  | Value of { mutable chosen : int; mutable untried : int list; arity : int }
+
+exception Killed
+
+(* The per-execution decision callbacks. [free]/[costly] partition the
+   schedulable threads: picking a costly one consumes a preemption. *)
+type decider = {
+  decide_thread : free:int list -> costly:int list -> int;
+  decide_value : arity:int -> int;
+}
+
+type thread_state =
+  | Ready of { resume : unit -> unit; abort : unit -> unit }
+  | Blocked of { wake : unit -> bool; what : string; resume : unit -> unit; abort : unit -> unit }
+  | Finished
+
+(* ------------------------------------------------------------------ *)
+(* One execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_one cfg ~(decider : decider) ~pruned ~setup =
+  Exec_ctx.reset ();
+  let threads = Rt.run_inline setup in
+  let n = Array.length threads in
+  let status = Array.make n Finished in
+  let yielded = Array.make n false in
+  let last_running = ref None in
+  let last_voluntary = ref true in
+  let preemptions = ref 0 in
+  let steps = ref 0 in
+  let errors = ref [] in
+  let killing = ref false in
+  let open Effect.Deep in
+  let handler i =
+    let suspend ~voluntary k =
+      status.(i) <-
+        Ready { resume = (fun () -> continue k ()); abort = (fun () -> discontinue k Killed) };
+      last_voluntary := voluntary
+    in
+    {
+      retc =
+        (fun () ->
+          status.(i) <- Finished;
+          last_voluntary := true);
+      exnc =
+        (fun e ->
+          status.(i) <- Finished;
+          last_voluntary := true;
+          match e with Killed -> () | e -> errors := (i, e) :: !errors);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Rt.Sched reason ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if !killing then continue k ()
+                else begin
+                  match reason, cfg.mode with
+                  | Rt.Access _, Serial ->
+                    (* no mid-operation scheduling in serial mode *)
+                    continue k ()
+                  | Rt.Access _, Concurrent -> suspend ~voluntary:false k
+                  | Rt.Boundary, _ -> suspend ~voluntary:true k
+                end)
+          | Rt.Block (wake, what) ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if !killing then discontinue k Killed
+                else begin
+                  status.(i) <-
+                    Blocked
+                      {
+                        wake;
+                        what;
+                        resume = (fun () -> continue k ());
+                        abort = (fun () -> discontinue k Killed);
+                      };
+                  last_voluntary := true
+                end)
+          | Rt.Yield ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if !killing then continue k ()
+                else begin
+                  match cfg.mode with
+                  | Serial ->
+                    (* no mid-operation scheduling in serial mode; spin
+                       loops that genuinely wait on another thread hit the
+                       step budget and classify as stuck *)
+                    continue k ()
+                  | Concurrent ->
+                    yielded.(i) <- true;
+                    suspend ~voluntary:true k
+                end)
+          | Rt.Choose (arity, _) ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                if !killing then continue k 0
+                else continue k (decider.decide_value ~arity))
+          | _ -> None);
+    }
+  in
+  Array.iteri
+    (fun i body ->
+      status.(i) <-
+        Ready
+          {
+            resume = (fun () -> match_with body () (handler i));
+            abort = (fun () -> status.(i) <- Finished);
+          })
+    threads;
+  let kill_all () =
+    killing := true;
+    Array.iter
+      (fun st ->
+        match st with
+        | Ready { abort; _ } | Blocked { abort; _ } -> abort ()
+        | Finished -> ())
+      status
+  in
+  let enabled_threads () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match status.(i) with
+      | Ready _ -> acc := i :: !acc
+      | Blocked { wake; _ } -> if wake () then acc := i :: !acc
+      | Finished -> ()
+    done;
+    !acc
+  in
+  let blocked_threads () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match status.(i) with
+      | Blocked _ -> acc := i :: !acc
+      | Ready _ | Finished -> ()
+    done;
+    !acc
+  in
+  let resume_thread i =
+    match status.(i) with
+    | Ready { resume; _ } | Blocked { resume; _ } ->
+      Exec_ctx.set_current_tid i;
+      resume ()
+    | Finished -> assert false
+  in
+  (* Start fusion: run each thread to its first suspension point, in thread
+     order, before any scheduling decision. Sound because every modeled
+     shared access performs its scheduling effect first — the prefix before
+     a thread's first suspension cannot touch modeled shared state, so its
+     position in the interleaving is irrelevant. (Value choices encountered
+     in the prefix remain decision points.) *)
+  let prerun_blocked = ref None in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Ready { resume; _ } ->
+        Exec_ctx.set_current_tid i;
+        resume ();
+        if cfg.mode = Serial && Option.is_none !prerun_blocked then begin
+          match status.(i) with
+          | Blocked { wake; _ } when not (wake ()) -> prerun_blocked := Some i
+          | Blocked _ | Ready _ | Finished -> ()
+        end
+      | Blocked _ | Finished -> ())
+    status;
+  let rec loop () =
+    if Option.is_some !prerun_blocked then begin
+      kill_all ();
+      Serial_stuck (Option.get !prerun_blocked)
+    end
+    else if !steps >= cfg.max_steps then begin
+      kill_all ();
+      Diverged
+    end
+    else begin
+      let enabled = enabled_threads () in
+      match enabled with
+      | [] ->
+        if Array.for_all (function Finished -> true | Ready _ | Blocked _ -> false) status
+        then All_finished
+        else begin
+          let blocked = blocked_threads () in
+          kill_all ();
+          Deadlock blocked
+        end
+      | _ :: _ ->
+        (* Fairness: don't reschedule a yielded thread while a non-yielded
+           thread is enabled. *)
+        let candidates =
+          match List.filter (fun i -> not yielded.(i)) enabled with
+          | [] -> enabled
+          | non_yielded -> non_yielded
+        in
+        (* Partition into free and costly (preempting) choices. *)
+        let free, costly =
+          if !last_voluntary then candidates, []
+          else begin
+            match !last_running with
+            | Some t when List.mem t candidates ->
+              [ t ], List.filter (fun c -> c <> t) candidates
+            | Some _ | None -> candidates, []
+          end
+        in
+        let free, costly =
+          match cfg.preemption_bound with
+          | Some bound when !preemptions >= bound ->
+            pruned := !pruned + List.length costly;
+            free, []
+          | Some _ | None -> free, costly
+        in
+        let chosen = decider.decide_thread ~free ~costly in
+        if not (List.mem chosen free || List.mem chosen costly) then
+          Fmt.invalid_arg "Explore: replayed decision chose unschedulable thread %d" chosen;
+        if List.mem chosen costly then incr preemptions;
+        Array.iteri (fun j flag -> if flag && j <> chosen then yielded.(j) <- false) yielded;
+        incr steps;
+        resume_thread chosen;
+        if
+          cfg.mode = Serial
+          && (match status.(chosen) with Blocked { wake; _ } -> not (wake ()) | _ -> false)
+        then begin
+          kill_all ();
+          Serial_stuck chosen
+        end
+        else begin
+          last_running := Some chosen;
+          loop ()
+        end
+    end
+  in
+  let exec_end = loop () in
+  { exec_end; steps = !steps; preemptions = !preemptions; errors = List.rev !errors }
+
+(* ------------------------------------------------------------------ *)
+(* Depth-first systematic exploration with backtracking                *)
+(* ------------------------------------------------------------------ *)
+
+(* Builds the decider used for one DFS execution: consume the replay prefix,
+   then make fresh decisions (preferring to continue the last-running thread)
+   while recording untried alternatives. *)
+let dfs_decider ~replay ~trace ~last_running =
+  let replay_left = ref replay in
+  let pop_replayed () =
+    match !replay_left with
+    | [] -> None
+    | d :: rest ->
+      replay_left := rest;
+      Some d
+  in
+  let record d = trace := d :: !trace in
+  let decide_thread ~free ~costly =
+    match pop_replayed () with
+    | Some (Thread t as d) ->
+      record d;
+      t.chosen
+    | Some (Value _) -> invalid_arg "Explore: replay mismatch (expected thread decision)"
+    | None ->
+      let all = free @ costly in
+      let chosen =
+        match !last_running with
+        | Some t when List.mem t all -> t
+        | _ -> List.fold_left min (List.hd all) all
+      in
+      let untried = List.filter (fun c -> c <> chosen) all in
+      record (Thread { chosen; untried });
+      chosen
+  in
+  let decide_value ~arity =
+    match pop_replayed () with
+    | Some (Value v as d) ->
+      if v.arity <> arity then invalid_arg "Explore: replay mismatch (choice arity)";
+      record d;
+      v.chosen
+    | Some (Thread _) -> invalid_arg "Explore: replay mismatch (expected value decision)"
+    | None ->
+      let d = Value { chosen = 0; untried = List.init (arity - 1) (fun i -> i + 1); arity } in
+      record d;
+      0
+  in
+  { decide_thread; decide_value }
+
+(* Find the deepest decision with an untried alternative, mutate it to take
+   that alternative, and return the new replay prefix (in execution order). *)
+let next_prefix trace_rev =
+  let rec go = function
+    | [] -> None
+    | d :: rest -> (
+      match d with
+      | Thread t -> (
+        match t.untried with
+        | [] -> go rest
+        | x :: xs ->
+          t.chosen <- x;
+          t.untried <- xs;
+          Some (List.rev (d :: rest)))
+      | Value v -> (
+        match v.untried with
+        | [] -> go rest
+        | x :: xs ->
+          v.chosen <- x;
+          v.untried <- xs;
+          Some (List.rev (d :: rest))))
+  in
+  go trace_rev
+
+let explore cfg ~setup ~on_execution =
+  let executions = ref 0 in
+  let total_steps = ref 0 in
+  let deadlocks = ref 0 in
+  let divergences = ref 0 in
+  let serial_stucks = ref 0 in
+  let max_depth = ref 0 in
+  let pruned = ref 0 in
+  let complete = ref true in
+  let replay = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    (* [last_running] mirrors the engine's notion for the decider's
+       continue-current preference; the engine exposes it implicitly through
+       decision order, so we track it via a shared cell updated by a wrapper. *)
+    let trace = ref [] in
+    let last_running = ref None in
+    let base = dfs_decider ~replay:!replay ~trace ~last_running in
+    let decider =
+      {
+        base with
+        decide_thread =
+          (fun ~free ~costly ->
+            let c = base.decide_thread ~free ~costly in
+            last_running := Some c;
+            c);
+      }
+    in
+    let outcome = run_one cfg ~decider ~pruned ~setup in
+    incr executions;
+    total_steps := !total_steps + outcome.steps;
+    (match outcome.exec_end with
+     | Deadlock _ -> incr deadlocks
+     | Diverged -> incr divergences
+     | Serial_stuck _ -> incr serial_stucks
+     | All_finished -> ());
+    let depth = List.length !trace in
+    if depth > !max_depth then max_depth := depth;
+    (match on_execution outcome with
+     | `Stop ->
+       continue_ := false;
+       complete := false
+     | `Continue -> ());
+    if !continue_ then begin
+      match next_prefix !trace with
+      | None -> continue_ := false
+      | Some prefix -> (
+        replay := prefix;
+        match cfg.max_executions with
+        | Some cap when !executions >= cap ->
+          continue_ := false;
+          complete := false
+        | Some _ | None -> ())
+    end
+  done;
+  {
+    executions = !executions;
+    total_steps = !total_steps;
+    deadlocks = !deadlocks;
+    divergences = !divergences;
+    serial_stucks = !serial_stucks;
+    max_depth = !max_depth;
+    pruned_choices = !pruned;
+    complete = !complete;
+  }
+
+let explore_iterative cfg ~max_bound ~setup ~on_execution =
+  let stopped_at = ref None in
+  let rec go bound acc =
+    if bound > max_bound || Option.is_some !stopped_at then List.rev acc
+    else begin
+      let stats =
+        explore
+          { cfg with preemption_bound = Some bound }
+          ~setup
+          ~on_execution:(fun outcome ->
+            match on_execution outcome with
+            | `Stop ->
+              stopped_at := Some bound;
+              `Stop
+            | `Continue -> `Continue)
+      in
+      go (bound + 1) (stats :: acc)
+    end
+  in
+  let all = go 0 [] in
+  all, !stopped_at
+
+(* ------------------------------------------------------------------ *)
+(* Random-walk baseline                                                *)
+(* ------------------------------------------------------------------ *)
+
+let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
+  let executions = ref 0 in
+  let total_steps = ref 0 in
+  let deadlocks = ref 0 in
+  let divergences = ref 0 in
+  let serial_stucks = ref 0 in
+  let pruned = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !executions < target do
+    let decider =
+      {
+        decide_thread =
+          (fun ~free ~costly ->
+            let all = Array.of_list (free @ costly) in
+            all.(Random.State.int rng (Array.length all)));
+        decide_value = (fun ~arity -> Random.State.int rng arity);
+      }
+    in
+    let outcome = run_one cfg ~decider ~pruned ~setup in
+    incr executions;
+    total_steps := !total_steps + outcome.steps;
+    (match outcome.exec_end with
+     | Deadlock _ -> incr deadlocks
+     | Diverged -> incr divergences
+     | Serial_stuck _ -> incr serial_stucks
+     | All_finished -> ());
+    match on_execution outcome with
+    | `Stop -> continue_ := false
+    | `Continue -> ()
+  done;
+  {
+    executions = !executions;
+    total_steps = !total_steps;
+    deadlocks = !deadlocks;
+    divergences = !divergences;
+    serial_stucks = !serial_stucks;
+    max_depth = 0;
+    pruned_choices = !pruned;
+    complete = false;
+  }

@@ -1,0 +1,119 @@
+(** A stateless model checker for programs written against
+    [Lineup_runtime.Rt] — the substrate the paper obtains from CHESS
+    (Musuvathi et al., OSDI 2008).
+
+    The explorer runs the program to completion under a deterministic
+    cooperative scheduler, records the sequence of scheduling decisions
+    (thread choices at scheduling points, value choices at demonic [Choose]
+    points) together with their untried alternatives, and backtracks by
+    re-executing from scratch along a mutated decision prefix — no state
+    capture, exactly CHESS's architecture.
+
+    Features mirrored from CHESS:
+    - {e exhaustive} depth-first enumeration of schedules;
+    - {e preemption bounding} (Musuvathi & Qadeer, PLDI 2007): a context
+      switch away from a thread suspended at a shared-memory access counts
+      against the bound; switches at operation boundaries, yields, blocks and
+      thread exits are free. Phase 1 of Line-Up runs serial mode, where the
+      only scheduling points are operation boundaries, so it is unaffected by
+      the bound — preserving the paper's completeness guarantee (§4.3);
+    - {e fair scheduling} (Musuvathi & Qadeer, PLDI 2008, approximated): a
+      thread that performed [Rt.yield] (a spin-loop iteration) is not
+      scheduled again until some other enabled thread has run;
+    - {e deadlock detection}: blocked threads are disabled, so an execution
+      with no enabled threads is a deadlock — reported as a stuck execution;
+    - a per-execution step budget backstops genuine divergence, which is
+      classified as stuck (the paper folds livelock and diverging loops into
+      stuck histories, §2.3). *)
+
+type mode =
+  | Concurrent
+      (** scheduling points at every shared access, operation boundary,
+          yield and block — phase 2 *)
+  | Serial
+      (** scheduling points at operation boundaries only; an execution whose
+          running thread blocks ends immediately as a stuck serial execution
+          — phase 1 *)
+
+type config = {
+  mode : mode;
+  preemption_bound : int option;  (** [None] = unbounded *)
+  max_steps : int;  (** per-execution step budget (divergence backstop) *)
+  max_executions : int option;  (** exploration budget; [None] = exhaustive *)
+}
+
+val default_config : config
+(** Concurrent mode, preemption bound 2 (the CHESS default used by the
+    paper), 50_000 steps, unlimited executions. *)
+
+val serial_config : config
+(** Serial mode, no preemption bound (phase 1 runs unbounded, §4.3). *)
+
+type exec_end =
+  | All_finished  (** every thread ran to completion *)
+  | Deadlock of int list  (** no enabled thread; the listed threads are blocked *)
+  | Serial_stuck of int  (** serial mode: the running thread blocked mid-operation *)
+  | Diverged  (** step budget exhausted (livelock / diverging loop) *)
+
+type exec_outcome = {
+  exec_end : exec_end;
+  steps : int;
+  preemptions : int;
+  errors : (int * exn) list;
+      (** exceptions escaping thread bodies (implementation bugs of a
+          different kind; exploration continues) *)
+}
+
+type stats = {
+  executions : int;
+  total_steps : int;
+  deadlocks : int;
+  divergences : int;
+  serial_stucks : int;
+  max_depth : int;  (** deepest decision trace seen *)
+  pruned_choices : int;  (** alternatives dropped by the preemption bound *)
+  complete : bool;
+      (** the schedule space was exhausted (no budget cut, no early stop) *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [explore cfg ~setup ~on_execution] enumerates schedules depth-first.
+    [setup] is run before each execution (with effects serviced inline, see
+    {!Lineup_runtime.Rt.run_inline}) and returns the thread bodies.
+    [on_execution] is called after each execution; returning [`Stop] ends the
+    exploration early. *)
+val explore :
+  config ->
+  setup:(unit -> (unit -> unit) array) ->
+  on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  stats
+
+(** [explore_iterative cfg ~max_bound ~setup ~on_execution] — iterative
+    context bounding, the search order CHESS actually uses (Musuvathi &
+    Qadeer, PLDI 2007): explore the schedule space exhaustively at
+    preemption bound 0, then 1, … up to [max_bound] (inclusive), stopping
+    early when [on_execution] returns [`Stop]. Returns the per-bound
+    statistics in order together with the bound at which the exploration
+    stopped, if it did. [cfg.preemption_bound] is ignored; [max_executions]
+    applies per bound. This simple variant re-explores lower-bound schedules
+    at each level — the classic trade-off for implementation simplicity. *)
+val explore_iterative :
+  config ->
+  max_bound:int ->
+  setup:(unit -> (unit -> unit) array) ->
+  on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  stats list * int option
+
+(** [random_walk cfg ~rng ~executions ~setup ~on_execution] replaces the
+    systematic enumeration with uniformly random scheduling decisions — the
+    "plain stress testing" baseline the paper contrasts with systematic
+    exploration (§4: "simple runtime monitoring is not sufficient").
+    [stats.complete] is always [false]. *)
+val random_walk :
+  config ->
+  rng:Random.State.t ->
+  executions:int ->
+  setup:(unit -> (unit -> unit) array) ->
+  on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  stats

@@ -1,0 +1,1 @@
+lib/spec/lin_check.ml: Array Hashtbl Lineup_history Lineup_value List Option Spec

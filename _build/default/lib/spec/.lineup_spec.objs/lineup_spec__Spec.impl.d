@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Lineup_history Lineup_value

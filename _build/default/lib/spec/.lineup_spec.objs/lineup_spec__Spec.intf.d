@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Lineup_history Lineup_value

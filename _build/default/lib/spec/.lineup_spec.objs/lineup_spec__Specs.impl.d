@@ -1,0 +1,1 @@
+lib/spec/specs.ml: Fmt Int Lineup_history Lineup_value List Spec String

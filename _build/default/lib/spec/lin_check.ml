@@ -1,0 +1,106 @@
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Op = Lineup_history.Op
+
+(* Wing & Gong-style search for a serial witness, memoized on the pair
+   (set of linearized operations, specification state) as in Lowe's
+   "Testing for linearizability". Operations are indexed in an array; sets
+   are bitmasks, so histories are limited to 62 operations — far beyond the
+   3x3 tests of the paper. *)
+
+let prepare h =
+  let ops = Array.of_list (History.ops h) in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Lin_check: more than 62 operations";
+  let preds =
+    Array.init n (fun i ->
+        List.filter
+          (fun j -> Op.precedes ops.(j) ops.(i))
+          (List.init n (fun j -> j)))
+  in
+  ops, n, preds
+
+let bit i = 1 lsl i
+
+(* Search for an order linearizing at least all complete operations (pending
+   ones may be linearized when the specification returns for them, or
+   dropped). [final_check] inspects the specification state reached once all
+   complete operations are linearized. Returns the order (indices reversed)
+   on success. *)
+let search (spec : 'st Spec.t) ops n preds ~allow_pending ~final_check =
+  let complete_mask =
+    let m = ref 0 in
+    Array.iteri (fun i op -> if Op.is_complete op then m := !m lor bit i) ops;
+    !m
+  in
+  let memo : (int * string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec go mask st acc =
+    if mask land complete_mask = complete_mask && final_check st then Some acc
+    else begin
+      let key = mask, spec.Spec.state_key st in
+      if Hashtbl.mem memo key then None
+      else begin
+        Hashtbl.add memo key ();
+        let rec try_ops i =
+          if i >= n then None
+          else if mask land bit i <> 0 then try_ops (i + 1)
+          else if List.exists (fun j -> mask land bit j = 0) preds.(i) then try_ops (i + 1)
+          else begin
+            let op : Op.t = ops.(i) in
+            let attempt =
+              match spec.Spec.step st op.inv, op.resp with
+              | Spec.Return (v, st'), Some resp when Value.equal v resp ->
+                go (mask lor bit i) st' (i :: acc)
+              | Spec.Return (v, st'), None when allow_pending ->
+                ignore v;
+                go (mask lor bit i) st' (i :: acc)
+              | (Spec.Return _ | Spec.Blocked), _ -> None
+            in
+            match attempt with Some _ as r -> r | None -> try_ops (i + 1)
+          end
+        in
+        try_ops 0
+      end
+    end
+  in
+  go 0 spec.Spec.initial []
+
+let linearization_rev spec h ~final_check =
+  let ops, n, preds = prepare h in
+  match search spec ops n preds ~allow_pending:true ~final_check with
+  | Some rev_indices -> Some (List.rev_map (fun i -> ops.(i)) rev_indices)
+  | None -> None
+
+let check spec h =
+  Option.is_some (linearization_rev spec h ~final_check:(fun _ -> true))
+
+let linearization spec h = linearization_rev spec h ~final_check:(fun _ -> true)
+
+let check_complete spec h =
+  if not (History.is_complete h) then
+    invalid_arg "Lin_check.check_complete: history has pending operations";
+  check spec h
+
+let check_stuck spec h =
+  if not (History.is_stuck h) then invalid_arg "Lin_check.check_stuck: history is not stuck";
+  let justified (e : Op.t) =
+    (* Witness for H[e]: all complete operations of [h] linearized in some
+       <H-consistent order, after which the specification blocks on [e]'s
+       invocation. The other pending calls are removed by the H[e]
+       construction, hence excluded from the search. *)
+    let he = History.restrict_to_pending h e in
+    let ops, n, preds = prepare he in
+    let final_check st =
+      match spec.Spec.step st e.inv with Spec.Blocked -> true | Spec.Return _ -> false
+    in
+    (* In H[e] the only pending operation is [e] itself, which must not be
+       linearized (it appears as the final pending call of the witness). *)
+    Option.is_some (search spec ops n preds ~allow_pending:false ~final_check)
+  in
+  match List.find_opt (fun e -> not (justified e)) (History.pending_ops h) with
+  | None -> Ok ()
+  | Some e -> Error e
+
+let check_general spec h =
+  if History.is_stuck h then match check_stuck spec h with Ok () -> true | Error _ -> false
+  else check spec h

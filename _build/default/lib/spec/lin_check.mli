@@ -1,0 +1,36 @@
+(** Direct linearizability checking against an explicit specification.
+
+    This is the classical approach Line-Up replaces: given a sequential
+    specification, search for a linearization (a serial witness) of a
+    concurrent history. The search follows Wing & Gong's algorithm with
+    Lowe-style memoization on (set of linearized operations, specification
+    state).
+
+    In this codebase it serves as an independent oracle: the test suite
+    checks that the two-phase Line-Up verdict and the direct verdict agree
+    on histories produced by the model checker. *)
+
+(** [check spec h] — Definition 1: can [h] be extended (completing or
+    dropping its pending calls) so that [complete h'] has a serial witness in
+    the specification? *)
+val check : 'st Spec.t -> Lineup_history.History.t -> bool
+
+(** [check_complete spec h] — Definition 1 restricted to complete histories.
+    Raises [Invalid_argument] if [h] has pending operations. *)
+val check_complete : 'st Spec.t -> Lineup_history.History.t -> bool
+
+(** [check_stuck spec h] — Definition 2: every pending operation [e] of stuck
+    history [h] has a serial witness for [H[e]] in the blocked extension
+    [Ȳ] of the specification. Returns the first unjustified pending
+    operation on failure. *)
+val check_stuck :
+  'st Spec.t -> Lineup_history.History.t -> (unit, Lineup_history.Op.t) result
+
+(** [check_general spec h] — Definition 3 applied to one history: stuck
+    histories checked per Definition 2, others per Definition 1. *)
+val check_general : 'st Spec.t -> Lineup_history.History.t -> bool
+
+(** [linearization spec h] returns a witness linearization order of the
+    complete operations of [h] (completing pending calls when possible), or
+    [None] if the history is not linearizable. For reporting and tests. *)
+val linearization : 'st Spec.t -> Lineup_history.History.t -> Lineup_history.Op.t list option

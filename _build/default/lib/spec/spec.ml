@@ -1,0 +1,25 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+
+type 'st outcome =
+  | Return of Value.t * 'st
+  | Blocked
+
+type 'st t = {
+  name : string;
+  initial : 'st;
+  step : 'st -> Invocation.t -> 'st outcome;
+  state_key : 'st -> string;
+}
+
+type packed = Packed : 'st t -> packed
+
+let run spec invs =
+  let rec go st = function
+    | [] -> []
+    | inv :: rest -> (
+      match spec.step st inv with
+      | Return (v, st') -> (inv, Some v) :: go st' rest
+      | Blocked -> [ inv, None ])
+  in
+  go spec.initial invs

@@ -1,0 +1,38 @@
+(** Explicit deterministic sequential specifications.
+
+    Line-Up's whole point is that these are {e not} needed — phase 1
+    synthesizes the specification from the implementation. This module exists
+    for three reasons: (1) it gives the formal objects of Section 2.1.2 a
+    concrete form (the specification automaton of Fig. 3); (2) together with
+    {!Lin_check} it provides an independent linearizability oracle used to
+    cross-validate the two-phase check in the test suite; (3) wrapped in a
+    coarse lock (see [Lineup_conc.Spec_impl]) it yields correct-by-
+    construction reference implementations.
+
+    A specification is deterministic by construction: [step] is a function.
+    [Blocked] models operations that must wait (the semaphore-like [dec] of
+    the paper's counter example). *)
+
+type 'st outcome =
+  | Return of Lineup_value.Value.t * 'st
+  | Blocked  (** the invocation cannot proceed in this state *)
+
+type 'st t = {
+  name : string;
+  initial : 'st;
+  step : 'st -> Lineup_history.Invocation.t -> 'st outcome;
+  state_key : 'st -> string;
+      (** injective encoding of the state, used for memoization in
+          {!Lin_check} and for cheap state equality *)
+}
+
+(** A specification with its state type hidden. *)
+type packed = Packed : 'st t -> packed
+
+(** [run spec invs] applies the invocations in order from the initial state,
+    returning the responses; stops early at the first blocked invocation
+    (returning [None] in that slot and ending the list there). *)
+val run :
+  'st t ->
+  Lineup_history.Invocation.t list ->
+  (Lineup_history.Invocation.t * Lineup_value.Value.t option) list

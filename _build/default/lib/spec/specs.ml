@@ -1,0 +1,128 @@
+module Value = Lineup_value.Value
+module Invocation = Lineup_history.Invocation
+open Spec
+
+let unexpected spec_name (inv : Invocation.t) =
+  Fmt.invalid_arg "%s specification: unexpected invocation %a" spec_name Invocation.pp inv
+
+let int_list_key l = String.concat "," (List.map string_of_int l)
+
+let counter =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg with
+    | "Inc", Value.Unit -> Return (Value.unit, st + 1)
+    | "Dec", Value.Unit -> if st = 0 then Blocked else Return (Value.unit, st - 1)
+    | "Get", Value.Unit -> Return (Value.int st, st)
+    | "Set", Value.Int x -> Return (Value.unit, x)
+    | _ -> unexpected "counter" inv
+  in
+  { name = "counter"; initial = 0; step; state_key = string_of_int }
+
+let register =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg with
+    | "Write", Value.Int x -> Return (Value.unit, x)
+    | "Read", Value.Unit -> Return (Value.int st, st)
+    | "CAS", Value.Pair (Value.Int a, Value.Int b) ->
+      if st = a then Return (Value.bool true, b) else Return (Value.bool false, st)
+    | _ -> unexpected "register" inv
+  in
+  { name = "register"; initial = 0; step; state_key = string_of_int }
+
+let queue =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg, st with
+    | "Enqueue", Value.Int x, _ -> Return (Value.unit, st @ [ x ])
+    | "TryDequeue", Value.Unit, [] -> Return (Value.Fail, [])
+    | "TryDequeue", Value.Unit, x :: rest -> Return (Value.int x, rest)
+    | "Take", Value.Unit, [] -> Blocked
+    | "Take", Value.Unit, x :: rest -> Return (Value.int x, rest)
+    | "TryPeek", Value.Unit, [] -> Return (Value.Fail, [])
+    | "TryPeek", Value.Unit, x :: _ -> Return (Value.int x, st)
+    | "Count", Value.Unit, _ -> Return (Value.int (List.length st), st)
+    | "IsEmpty", Value.Unit, _ -> Return (Value.bool (st = []), st)
+    | "ToArray", Value.Unit, _ -> Return (Value.list (List.map Value.int st), st)
+    | _ -> unexpected "queue" inv
+  in
+  { name = "queue"; initial = []; step; state_key = int_list_key }
+
+let stack =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg, st with
+    | "Push", Value.Int x, _ -> Return (Value.unit, x :: st)
+    | "TryPop", Value.Unit, [] -> Return (Value.Fail, [])
+    | "TryPop", Value.Unit, x :: rest -> Return (Value.int x, rest)
+    | "TryPeek", Value.Unit, [] -> Return (Value.Fail, [])
+    | "TryPeek", Value.Unit, x :: _ -> Return (Value.int x, st)
+    | "Count", Value.Unit, _ -> Return (Value.int (List.length st), st)
+    | "PushRange", Value.List xs, _ ->
+      (* .NET PushRange(arr) pushes arr[0] last, so arr[0] ends on top. *)
+      let xs = List.map Value.get_int xs in
+      Return (Value.unit, xs @ st)
+    | "TryPopRange", Value.Int n, _ ->
+      let rec take n st =
+        if n = 0 then [], st
+        else
+          match st with
+          | [] -> [], []
+          | x :: rest ->
+            let popped, rest = take (n - 1) rest in
+            x :: popped, rest
+      in
+      let popped, rest = take n st in
+      Return (Value.list (List.map Value.int popped), rest)
+    | "ToArray", Value.Unit, _ -> Return (Value.list (List.map Value.int st), st)
+    | _ -> unexpected "stack" inv
+  in
+  { name = "stack"; initial = []; step; state_key = int_list_key }
+
+let semaphore ~initial =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg with
+    | "Wait", Value.Unit -> if st = 0 then Blocked else Return (Value.unit, st - 1)
+    | "TryWait", Value.Unit ->
+      if st = 0 then Return (Value.bool false, st) else Return (Value.bool true, st - 1)
+    | "Release", Value.Unit -> Return (Value.int st, st + 1)
+    | "ReleaseMany", Value.Int n -> Return (Value.int st, st + n)
+    | "CurrentCount", Value.Unit -> Return (Value.int st, st)
+    | _ -> unexpected "semaphore" inv
+  in
+  { name = "semaphore"; initial; step; state_key = string_of_int }
+
+let manual_reset_event ~initial =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg with
+    | "Set", Value.Unit -> Return (Value.unit, true)
+    | "Reset", Value.Unit -> Return (Value.unit, false)
+    | "Wait", Value.Unit -> if st then Return (Value.unit, st) else Blocked
+    | "TryWait", Value.Unit -> Return (Value.bool st, st)
+    | "IsSet", Value.Unit -> Return (Value.bool st, st)
+    | _ -> unexpected "manual_reset_event" inv
+  in
+  { name = "manual_reset_event"; initial; step; state_key = string_of_bool }
+
+let key_set =
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg with
+    | "Add", Value.Int k ->
+      if List.mem k st then Return (Value.bool false, st)
+      else Return (Value.bool true, List.sort Int.compare (k :: st))
+    | "Remove", Value.Int k ->
+      if List.mem k st then Return (Value.bool true, List.filter (fun x -> x <> k) st)
+      else Return (Value.bool false, st)
+    | "Contains", Value.Int k -> Return (Value.bool (List.mem k st), st)
+    | "Count", Value.Unit -> Return (Value.int (List.length st), st)
+    | _ -> unexpected "key_set" inv
+  in
+  { name = "key_set"; initial = []; step; state_key = int_list_key }
+
+let all =
+  [
+    Packed counter;
+    Packed register;
+    Packed queue;
+    Packed stack;
+    Packed (semaphore ~initial:0);
+    Packed (manual_reset_event ~initial:false);
+    Packed key_set;
+  ]

@@ -1,0 +1,38 @@
+(** A library of deterministic sequential specifications for the data types
+    exercised in the paper.
+
+    Invocation naming conventions are shared with the adapters in
+    [Lineup_conc] so the same test matrices can drive either a real
+    implementation (through Line-Up) or a specification (through
+    {!Lin_check}). *)
+
+(** The counter of Fig. 3: [Inc], [Get], [Set(x)], and a semaphore-like
+    [Dec] that blocks at zero. *)
+val counter : int Spec.t
+
+(** A single integer register: [Write(x)], [Read], [CAS(a,b)]. *)
+val register : int Spec.t
+
+(** FIFO queue: [Enqueue(x)], [TryDequeue], [Take] (blocking), [TryPeek],
+    [Count], [IsEmpty], [ToArray]. *)
+val queue : int list Spec.t
+
+(** LIFO stack: [Push(x)], [TryPop], [TryPeek], [Count], [PushRange(l)],
+    [TryPopRange(n)], [ToArray]. *)
+val stack : int list Spec.t
+
+(** Counting semaphore: [Wait] (blocking), [TryWait], [Release],
+    [ReleaseMany(n)], [CurrentCount]. [Release] returns the previous count,
+    as in .NET's [SemaphoreSlim]. *)
+val semaphore : initial:int -> int Spec.t
+
+(** Manual-reset event: [Set], [Reset], [Wait] (blocking while unset),
+    [TryWait], [IsSet]. *)
+val manual_reset_event : initial:bool -> bool Spec.t
+
+(** Integer key set (the deterministic core of a dictionary): [Add(k)],
+    [Remove(k)], [Contains(k)], [Count]. [Add]/[Remove] return whether they
+    changed the set. *)
+val key_set : int list Spec.t
+
+val all : Spec.packed list

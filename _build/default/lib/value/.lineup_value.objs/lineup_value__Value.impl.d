@@ -1,0 +1,1 @@
+lib/value/value.ml: Bool Buffer Char Fmt Hashtbl Int List Option String

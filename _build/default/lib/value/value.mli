@@ -1,0 +1,53 @@
+(** Dynamic values exchanged with a component under test.
+
+    Line-Up drives implementations black-box: invocations carry arguments and
+    responses carry results, both as untyped {!t} values. The type is closed
+    under pairs, lists and options so that adapters can encode structured
+    results (e.g. the array returned by [ToArray], or the [(bool, int)] result
+    of a [TryPop]). [Fail] is the distinguished "operation failed" marker used
+    by the [Try*]-style methods of the .NET collections. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+  | Opt of t option
+  | Fail  (** distinguished failure result of [Try*] operations *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [to_string v] prints [v] in the concrete syntax used by observation files
+    (Fig. 7 of the paper), e.g. ["200"], ["Fail"], ["(1, 2)"], ["[1; 2]"]. *)
+val to_string : t -> string
+
+(** [of_string s] parses the output of {!to_string}. Total inverse of
+    {!to_string} on its image; raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+(** Convenience constructors. *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val some : t -> t
+val none : t
+val ok_unit : t
+(** Alias for [Unit]: the "ok" response of void methods (Section 2.1). *)
+
+(** Accessors; raise [Invalid_argument] when the constructor does not match. *)
+
+val get_int : t -> int
+val get_bool : t -> bool
+val get_pair : t -> t * t
+val get_list : t -> t list
+val is_fail : t -> bool

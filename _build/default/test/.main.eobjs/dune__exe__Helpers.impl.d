@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Lineup_history Lineup_value List Option QCheck

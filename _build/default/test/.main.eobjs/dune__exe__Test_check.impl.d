@@ -1,0 +1,1 @@
+test/test_check.ml: Adapter Alcotest Check Helpers Lineup Lineup_conc Lineup_history Lineup_scheduler Lineup_spec Lineup_value Observation Option Report String Test_matrix

@@ -1,0 +1,1 @@
+test/test_checkers.ml: Alcotest Fmt Helpers Lineup Lineup_checkers Lineup_conc Lineup_runtime Lineup_scheduler List Test_matrix

@@ -1,0 +1,1 @@
+test/test_collections.ml: Adapter Alcotest Array Check Helpers Lineup Lineup_conc Lineup_runtime Lineup_value List Report Test_matrix

@@ -1,0 +1,1 @@
+test/test_harness.ml: Adapter Alcotest Fmt Harness Helpers Lineup Lineup_history Lineup_runtime Lineup_scheduler Lineup_value List Option Test_matrix

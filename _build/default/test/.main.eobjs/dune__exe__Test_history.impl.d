@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Fmt Helpers Lineup_history Lineup_value List

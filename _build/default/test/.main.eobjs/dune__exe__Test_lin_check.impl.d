@@ -1,0 +1,1 @@
+test/test_lin_check.ml: Alcotest Helpers Lineup_history Lineup_spec Lineup_value List QCheck QCheck_alcotest Result

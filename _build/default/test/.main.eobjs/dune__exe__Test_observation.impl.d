@@ -1,0 +1,1 @@
+test/test_observation.ml: Alcotest Helpers Lineup Lineup_history Lineup_value Observation Result

@@ -1,0 +1,1 @@
+test/test_observation_file.ml: Alcotest Check Filename Fun Helpers Lineup Lineup_conc Lineup_history Lineup_spec Lineup_value List Observation Observation_file String Sys Test_matrix Xml

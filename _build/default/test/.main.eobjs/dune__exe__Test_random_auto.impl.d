@@ -1,0 +1,1 @@
+test/test_random_auto.ml: Alcotest Auto_check Check Helpers Lineup Lineup_conc List Minimize Random Random_check Seq Test_matrix

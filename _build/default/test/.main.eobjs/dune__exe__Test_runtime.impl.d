@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Helpers Lineup_runtime Lineup_scheduler List

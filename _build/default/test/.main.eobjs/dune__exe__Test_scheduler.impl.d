@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Hashtbl Helpers Lineup_runtime Lineup_scheduler List Random

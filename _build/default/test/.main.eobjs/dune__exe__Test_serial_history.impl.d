@@ -1,0 +1,1 @@
+test/test_serial_history.ml: Alcotest Helpers Lineup_history Lineup_value List

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Helpers Lineup_history Lineup_spec Lineup_value List

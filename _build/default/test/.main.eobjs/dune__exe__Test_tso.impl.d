@@ -1,0 +1,1 @@
+test/test_tso.ml: Adapter Alcotest Array Fmt Helpers Lineup Lineup_checkers Lineup_conc Lineup_history Lineup_runtime Lineup_scheduler Lineup_value List Test_matrix

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Helpers Lineup_history Lineup_value List Result

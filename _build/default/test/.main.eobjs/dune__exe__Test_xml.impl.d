@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Fmt Helpers Lineup List Xml

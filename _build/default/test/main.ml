@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "lineup"
+    [
+      "value", Test_value.tests;
+      "history", Test_history.tests;
+      "serial-history", Test_serial_history.tests;
+      "witness", Test_witness.tests;
+      "spec", Test_spec.tests;
+      "lin-check", Test_lin_check.tests;
+      "runtime", Test_runtime.tests;
+      "scheduler", Test_scheduler.tests;
+      "harness", Test_harness.tests;
+      "observation", Test_observation.tests;
+      "xml", Test_xml.tests;
+      "observation-file", Test_observation_file.tests;
+      "check", Test_check.tests;
+      "collections", Test_collections.tests;
+      "random-auto", Test_random_auto.tests;
+      "extensions", Test_extensions.tests;
+      "checkers", Test_checkers.tests;
+      "tso", Test_tso.tests;
+      "cross-validation", Test_crossval.tests;
+    ]

@@ -1,0 +1,169 @@
+open Helpers
+module Exec_ctx = Lineup_runtime.Exec_ctx
+module Race_detector = Lineup_checkers.Race_detector
+module Serializability = Lineup_checkers.Serializability
+module Vector_clock = Lineup_checkers.Vector_clock
+module Conc = Lineup_conc
+open Lineup
+
+(* hand-built logs *)
+let acc ?(volatile = false) tid loc kind =
+  Exec_ctx.Access { tid; loc; loc_name = Fmt.str "loc%d" loc; kind; volatile }
+
+let acq tid lock = Exec_ctx.Lock_acquire { tid; lock; name = Fmt.str "lock%d" lock }
+let rel tid lock = Exec_ctx.Lock_release { tid; lock; name = Fmt.str "lock%d" lock }
+let op_start tid op_index = Exec_ctx.Op_start { tid; op_index }
+let op_end tid op_index = Exec_ctx.Op_end { tid; op_index }
+
+let suite =
+  [
+    test "vector clock basics" (fun () ->
+        let a = Vector_clock.make ~threads:2 in
+        let b = Vector_clock.make ~threads:2 in
+        Vector_clock.tick a 0;
+        Vector_clock.tick a 0;
+        Vector_clock.tick b 1;
+        Vector_clock.join b a;
+        Alcotest.(check int) "joined" 2 (Vector_clock.get b 0);
+        Alcotest.(check bool) "hb" true (Vector_clock.happens_before ~clock:2 ~tid:0 b);
+        Alcotest.(check bool) "not hb" false (Vector_clock.happens_before ~clock:3 ~tid:0 b));
+    test "race: unsynchronized write/write" (fun () ->
+        let races =
+          Race_detector.analyze ~threads:2
+            [ acc 0 1 Exec_ctx.Write; acc 1 1 Exec_ctx.Write ]
+        in
+        Alcotest.(check int) "one race" 1 (List.length races));
+    test "no race: read/read" (fun () ->
+        let races =
+          Race_detector.analyze ~threads:2 [ acc 0 1 Exec_ctx.Read; acc 1 1 Exec_ctx.Read ]
+        in
+        Alcotest.(check int) "none" 0 (List.length races));
+    test "no race: lock-ordered accesses" (fun () ->
+        let races =
+          Race_detector.analyze ~threads:2
+            [
+              acq 0 9; acc 0 1 Exec_ctx.Write; rel 0 9;
+              acq 1 9; acc 1 1 Exec_ctx.Read; rel 1 9;
+            ]
+        in
+        Alcotest.(check int) "none" 0 (List.length races));
+    test "race: different locks do not synchronize" (fun () ->
+        let races =
+          Race_detector.analyze ~threads:2
+            [
+              acq 0 8; acc 0 1 Exec_ctx.Write; rel 0 8;
+              acq 1 9; acc 1 1 Exec_ctx.Write; rel 1 9;
+            ]
+        in
+        Alcotest.(check int) "one" 1 (List.length races));
+    test "no race: volatile publication discipline" (fun () ->
+        (* T0 writes data then a volatile flag; T1 reads the flag then
+           data — the volatile pair orders the plain accesses *)
+        let races =
+          Race_detector.analyze ~threads:2
+            [
+              acc 0 1 Exec_ctx.Write;
+              acc ~volatile:true 0 2 Exec_ctx.Write;
+              acc ~volatile:true 1 2 Exec_ctx.Read;
+              acc 1 1 Exec_ctx.Read;
+            ]
+        in
+        Alcotest.(check int) "none" 0 (List.length races));
+    test "race: plain flag does not synchronize" (fun () ->
+        let races =
+          Race_detector.analyze ~threads:2
+            [
+              acc 0 1 Exec_ctx.Write;
+              acc 0 2 Exec_ctx.Write;
+              acc 1 2 Exec_ctx.Read;
+              acc 1 1 Exec_ctx.Read;
+            ]
+        in
+        Alcotest.(check bool) "at least the data race" true (List.length races >= 1));
+    test "program-order accesses never race" (fun () ->
+        let races =
+          Race_detector.analyze ~threads:2 [ acc 0 1 Exec_ctx.Write; acc 0 1 Exec_ctx.Write ]
+        in
+        Alcotest.(check int) "none" 0 (List.length races));
+    test "serializability: disjoint transactions are serializable" (fun () ->
+        let v =
+          Serializability.analyze
+            [
+              op_start 0 0; acc 0 1 Exec_ctx.Write; op_end 0 0;
+              op_start 1 0; acc 1 2 Exec_ctx.Write; op_end 1 0;
+            ]
+        in
+        Alcotest.(check bool) "serializable" true v.Serializability.serializable);
+    test "serializability: sequential conflicts are serializable" (fun () ->
+        let v =
+          Serializability.analyze
+            [
+              op_start 0 0; acc 0 1 Exec_ctx.Write; op_end 0 0;
+              op_start 1 0; acc 1 1 Exec_ctx.Write; op_end 1 0;
+            ]
+        in
+        Alcotest.(check bool) "serializable" true v.Serializability.serializable);
+    test "serializability: interleaved read-write-read cycle detected" (fun () ->
+        (* T0 reads x, T1 writes x, T0 reads x again inside the same op:
+           T0 -> T1 (read before write) and T1 -> T0 (write before read) *)
+        let v =
+          Serializability.analyze
+            [
+              op_start 0 0;
+              acc 0 1 Exec_ctx.Read;
+              op_start 1 0;
+              acc 1 1 Exec_ctx.Write;
+              op_end 1 0;
+              acc 0 1 Exec_ctx.Read;
+              op_end 0 0;
+            ]
+        in
+        Alcotest.(check bool) "not serializable" false v.Serializability.serializable;
+        Alcotest.(check bool) "cycle nonempty" true (List.length v.Serializability.cycle >= 2));
+    test "serializability: volatile accesses participate in conflicts" (fun () ->
+        let v =
+          Serializability.analyze
+            [
+              op_start 0 0;
+              acc ~volatile:true 0 1 Exec_ctx.Rmw;
+              op_start 1 0;
+              acc ~volatile:true 1 1 Exec_ctx.Rmw;
+              op_end 1 0;
+              acc ~volatile:true 0 1 Exec_ctx.Rmw;
+              op_end 0 0;
+            ]
+        in
+        Alcotest.(check bool) "not serializable" false v.Serializability.serializable);
+    test "driver: counter1 has a real race" (fun () ->
+        let races =
+          Race_detector.run ~adapter:Conc.Counters.buggy_unlocked
+            ~test:(Test_matrix.make [ [ inv "Inc" ]; [ inv "Inc" ] ])
+            ()
+        in
+        Alcotest.(check bool) "found" true (List.length races > 0));
+    test "driver: correct counter is race-free" (fun () ->
+        let races =
+          Race_detector.run ~adapter:Conc.Counters.correct
+            ~test:(Test_matrix.make [ [ inv "Inc" ]; [ inv "Inc"; inv "Get" ] ])
+            ()
+        in
+        Alcotest.(check int) "none" 0 (List.length races));
+    test "driver: correct lock-free stack triggers serializability false alarms (§5.6)" (fun () ->
+        let report =
+          Serializability.run ~adapter:Conc.Concurrent_stack.correct
+            ~test:(Test_matrix.make [ [ inv_int "Push" 1; inv "TryPop" ]; [ inv_int "Push" 2 ] ])
+            ()
+        in
+        Alcotest.(check bool) "violations on correct code" true
+          (report.Serializability.violations > 0));
+    test "driver: serial executions are always serializable" (fun () ->
+        let report =
+          Serializability.run ~config:Lineup_scheduler.Explore.serial_config
+            ~adapter:Conc.Concurrent_stack.correct
+            ~test:(Test_matrix.make [ [ inv_int "Push" 1; inv "TryPop" ]; [ inv_int "Push" 2 ] ])
+            ()
+        in
+        Alcotest.(check int) "none" 0 report.Serializability.violations);
+  ]
+
+let tests = suite

@@ -1,0 +1,323 @@
+(* Tests for the features beyond the core algorithm: phase-1 synthesis and
+   observation-file caching (§4.1), sequence-based test construction (§4.3),
+   parallel RandomCheck (§4.3), iterative context bounding, and the two
+   bonus subjects (ReaderWriterLockSlim, the lazy-list set). *)
+
+open Helpers
+module Conc = Lineup_conc
+module Explore = Lineup_scheduler.Explore
+module Rt = Lineup_runtime.Rt
+module Var = Lineup_runtime.Shared_var
+open Lineup
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "lineup" "cache" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let counter_test = Test_matrix.make [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ]
+
+let suite =
+  [
+    test "synthesize returns the phase-1 observation set" (fun () ->
+        match Check.synthesize Conc.Counters.correct counter_test with
+        | Ok (obs, report) ->
+          Alcotest.(check int) "histories" 3 (Observation.num_full obs);
+          Alcotest.(check int) "report histories" 3 report.Check.histories
+        | Error _ -> Alcotest.fail "expected phase-1 success");
+    test "synthesize reports nondeterminism" (fun () ->
+        let test = Test_matrix.make [ [ inv "Cancel"; inv "IsCancellationRequested" ] ] in
+        match Check.synthesize Conc.Cancellation_token_source.adapter test with
+        | Error (Check.Nondeterministic _, _) -> ()
+        | Error _ -> Alcotest.fail "wrong violation"
+        | Ok _ -> Alcotest.fail "expected nondeterminism");
+    test "run with a supplied observation skips phase 1" (fun () ->
+        match Check.synthesize Conc.Counters.correct counter_test with
+        | Error _ -> Alcotest.fail "synthesis failed"
+        | Ok (obs, _) ->
+          let r = Check.run ~observation:obs Conc.Counters.correct counter_test in
+          Alcotest.(check bool) "passes" true (Check.passed r);
+          Alcotest.(check int) "no phase-1 executions" 0
+            r.Check.phase1.Check.stats.Explore.executions);
+    test "a mismatched observation produces a violation (regression workflow)" (fun () ->
+        (* spec synthesized from the correct counter, implementation is the
+           buggy one: phase 2 must fail *)
+        match Check.synthesize Conc.Counters.correct counter_test with
+        | Error _ -> Alcotest.fail "synthesis failed"
+        | Ok (obs, _) ->
+          let r = Check.run ~observation:obs Conc.Counters.buggy_unlocked counter_test in
+          Alcotest.(check bool) "fails" false (Check.passed r));
+    test "obs_cache: second run hits the cache and agrees" (fun () ->
+        with_temp_dir (fun dir ->
+            let r1 = Obs_cache.check ~dir Conc.Counters.correct counter_test in
+            let path = Obs_cache.cache_path ~dir Conc.Counters.correct counter_test in
+            Alcotest.(check bool) "cache file written" true (Sys.file_exists path);
+            (match Obs_cache.phase1 ~dir Conc.Counters.correct counter_test with
+             | Ok (_, hit) -> Alcotest.(check bool) "hit" true hit
+             | Error _ -> Alcotest.fail "unexpected phase-1 violation");
+            let r2 = Obs_cache.check ~dir Conc.Counters.correct counter_test in
+            Alcotest.(check bool) "same verdict" (Check.passed r1) (Check.passed r2);
+            Alcotest.(check int) "same spec size" r1.Check.phase1.Check.histories
+              r2.Check.phase1.Check.histories));
+    test "obs_cache: different tests use different files" (fun () ->
+        with_temp_dir (fun dir ->
+            let t2 = Test_matrix.make [ [ inv "Get" ] ] in
+            let p1 = Obs_cache.cache_path ~dir Conc.Counters.correct counter_test in
+            let p2 = Obs_cache.cache_path ~dir Conc.Counters.correct t2 in
+            Alcotest.(check bool) "distinct" false (String.equal p1 p2)));
+    test "obs_cache: cached spec catches a regression" (fun () ->
+        with_temp_dir (fun dir ->
+            (* record the spec of the correct queue, then "upgrade" to the
+               buggy one under the same adapter name: the cached spec is
+               keyed by name+test, so the buggy implementation is checked
+               against the recorded correct behavior *)
+            let test =
+              Test_matrix.make
+                [
+                  [ inv_int "Enqueue" 200; inv_int "Enqueue" 400 ];
+                  [ inv "TryDequeue"; inv "TryDequeue" ];
+                ]
+            in
+            ignore (Obs_cache.check ~dir Conc.Concurrent_queue.correct test);
+            let obs =
+              match Obs_cache.phase1 ~dir Conc.Concurrent_queue.correct test with
+              | Ok (obs, true) -> obs
+              | _ -> Alcotest.fail "expected a cache hit"
+            in
+            let r = Check.run ~observation:obs Conc.Concurrent_queue.pre test in
+            Alcotest.(check bool) "regression caught" false (Check.passed r)));
+    test "random_seqs cells are whole sequences" (fun () ->
+        let rng = Random.State.make [| 9 |] in
+        let sequences = [ [ inv "A"; inv "B" ]; [ inv "C" ] ] in
+        let m = Test_matrix.random_seqs ~rng ~sequences ~rows:2 ~cols:2 () in
+        Alcotest.(check int) "cols" 2 (Test_matrix.num_threads m);
+        (* each column concatenates two sequences: length 2..4, and every
+           A is immediately followed by B *)
+        Array.iter
+          (fun col ->
+            let names = List.map (fun (i : Lineup_history.Invocation.t) -> i.name) col in
+            let rec ok = function
+              | "A" :: "B" :: rest -> ok rest
+              | "C" :: rest -> ok rest
+              | [] -> true
+              | _ -> false
+            in
+            Alcotest.(check bool) "well-formed column" true (ok names))
+          m.Test_matrix.columns);
+    test "run_seqs finds the semaphore bug with release-heavy sequences" (fun () ->
+        let report =
+          Random_check.run_seqs ~stop_at_first:true
+            ~rng:(Random.State.make [| 5 |])
+            ~sequences:[ [ inv "Release" ]; [ inv "Release"; inv "CurrentCount" ] ]
+            ~rows:1 ~cols:2 ~samples:20 Conc.Semaphore_slim.pre
+        in
+        Alcotest.(check bool) "found" true (report.Random_check.failed > 0));
+    test "run_parallel agrees with the sequential sampler" (fun () ->
+        (* domains share nothing; with the same per-domain seeds the merged
+           verdict counts must be stable *)
+        let run domains =
+          let r =
+            Random_check.run_parallel ~domains ~seed:3
+              ~invocations:[ inv "Inc"; inv "Get" ]
+              ~rows:2 ~cols:2 ~samples:6 Conc.Counters.buggy_unlocked
+          in
+          r.Random_check.passed, r.Random_check.failed
+        in
+        let p1, f1 = run 2 in
+        let p2, f2 = run 2 in
+        Alcotest.(check (pair int int)) "reproducible" (p1, f1) (p2, f2);
+        Alcotest.(check int) "all sampled" 6 (p1 + f1));
+    test "explore_iterative finds the lost update at bound 1" (fun () ->
+        let lost = ref false in
+        let final = Var.make 0 in
+        let setup () =
+          Var.poke final 0;
+          let v = Var.make 0 in
+          let incr_body () =
+            let x = Var.read v in
+            Var.write v (x + 1);
+            Var.poke final (Var.peek v)
+          in
+          [| incr_body; incr_body |]
+        in
+        let stats_list, stopped =
+          Explore.explore_iterative Explore.default_config ~max_bound:3 ~setup
+            ~on_execution:(fun _ ->
+              if Var.peek final = 1 then begin
+                lost := true;
+                `Stop
+              end
+              else `Continue)
+        in
+        Alcotest.(check bool) "found" true !lost;
+        Alcotest.(check (option int)) "at bound 1" (Some 1) stopped;
+        Alcotest.(check int) "two bounds explored" 2 (List.length stats_list));
+    test "explore_iterative explores all bounds when nothing stops it" (fun () ->
+        let setup () =
+          let v = Var.make 0 in
+          [| (fun () -> Var.write v 1); (fun () -> ignore (Var.read v)) |]
+        in
+        let stats_list, stopped =
+          Explore.explore_iterative Explore.default_config ~max_bound:2 ~setup
+            ~on_execution:(fun _ -> `Continue)
+        in
+        Alcotest.(check (option int)) "never stopped" None stopped;
+        Alcotest.(check int) "three bounds" 3 (List.length stats_list);
+        (* higher bounds explore at least as many executions *)
+        let execs = List.map (fun (s : Explore.stats) -> s.Explore.executions) stats_list in
+        Alcotest.(check bool) "monotone" true (List.sort compare execs = execs));
+    (* the two bonus subjects *)
+    test "rwlock: correct version passes reader/writer mix" (fun () ->
+        let r =
+          Check.run Conc.Rw_lock.correct
+            (Test_matrix.make
+               [ [ inv "EnterRead"; inv "ExitRead" ]; [ inv "EnterWrite"; inv "ExitWrite" ] ])
+        in
+        Alcotest.(check bool) "passes" true (Check.passed r));
+    test "rwlock: writer blocks while a reader holds (stuck history justified)" (fun () ->
+        let r =
+          Check.run Conc.Rw_lock.correct
+            (Test_matrix.make [ [ inv "EnterRead" ]; [ inv "EnterWrite" ] ])
+        in
+        Alcotest.(check bool) "passes" true (Check.passed r);
+        Alcotest.(check bool) "has stuck serial histories" true
+          (Observation.num_stuck r.Check.observation > 0));
+    test "rwlock: racy reader count caught" (fun () ->
+        let r =
+          Check.run Conc.Rw_lock.pre
+            (Test_matrix.make [ [ inv "EnterRead" ]; [ inv "EnterRead"; inv "CurrentReadCount" ] ])
+        in
+        match r.Check.verdict with
+        | Error (Check.No_witness _) -> ()
+        | _ -> Alcotest.fail "expected a wrong-value violation");
+    test "rwlock: exits without holds fail sequentially" (fun () ->
+        let seq invs =
+          Lineup_runtime.Exec_ctx.reset ();
+          Lineup_runtime.Exec_ctx.set_current_tid 0;
+          Rt.run_inline (fun () ->
+              let inst = Conc.Rw_lock.correct.Adapter.create () in
+              List.map inst.Adapter.invoke invs)
+        in
+        Alcotest.(check (list value)) "exit fail"
+          [ Lineup_value.Value.Fail; Lineup_value.Value.Fail ]
+          (seq [ inv "ExitRead"; inv "ExitWrite" ]));
+    test "lazy list: published algorithm passes an adversarial mix" (fun () ->
+        let r =
+          Check.run Conc.Lazy_list_set.correct
+            (Test_matrix.make ~init:[ inv_int "Add" 10 ]
+               [ [ inv_int "Remove" 10 ]; [ inv_int "Add" 15; inv_int "Contains" 15 ] ])
+        in
+        Alcotest.(check bool) "passes" true (Check.passed r));
+    test "lazy list: wait-free contains during removal is linearizable" (fun () ->
+        let r =
+          Check.run Conc.Lazy_list_set.correct
+            (Test_matrix.make ~init:[ inv_int "Add" 10; inv_int "Add" 15 ]
+               [ [ inv_int "Remove" 10; inv_int "Remove" 15 ]; [ inv_int "Contains" 15 ] ])
+        in
+        Alcotest.(check bool) "passes" true (Check.passed r));
+    test "lazy list: unmarked removal loses a validated insert" (fun () ->
+        let r =
+          Check.run Conc.Lazy_list_set.pre
+            (Test_matrix.make ~init:[ inv_int "Add" 10 ]
+               [ [ inv_int "Remove" 10 ]; [ inv_int "Add" 15; inv_int "Contains" 15 ] ])
+        in
+        match r.Check.verdict with
+        | Error (Check.No_witness _) -> ()
+        | _ -> Alcotest.fail "expected the lost-insert violation");
+    test "segment queue: FIFO across segment boundaries" (fun () ->
+        let seq invs =
+          Lineup_runtime.Exec_ctx.reset ();
+          Lineup_runtime.Exec_ctx.set_current_tid 0;
+          Rt.run_inline (fun () ->
+              let inst = Conc.Segment_queue.adapter.Adapter.create () in
+              List.map inst.Adapter.invoke invs)
+        in
+        let vi = Lineup_value.Value.int and vu = Lineup_value.Value.unit in
+        Alcotest.(check (list value)) "five elements through capacity-2 segments"
+          [ vu; vu; vu; vi 1; vi 2; vu; vi 3; vi 4; Lineup_value.Value.Fail ]
+          (seq
+             [
+               inv_int "Enqueue" 1; inv_int "Enqueue" 2; inv_int "Enqueue" 3; inv "TryDequeue";
+               inv "TryDequeue"; inv_int "Enqueue" 4; inv "TryDequeue"; inv "TryDequeue";
+               inv "TryDequeue";
+             ]));
+    test "segment queue: commit-before-fill mutation is caught" (fun () ->
+        (* a mutated enqueue that publishes the committed flag before
+           writing the value: a concurrent dequeue can observe slot's stale
+           content — the checker must reject the protocol *)
+        let broken =
+          let module Var = Lineup_runtime.Shared_var in
+          let create () =
+            let values = Array.init 4 (fun i -> Var.make ~name:(Fmt.str "v%d" i) 0) in
+            let committed =
+              Array.init 4 (fun i -> Var.make ~volatile:true ~name:(Fmt.str "c%d" i) false)
+            in
+            let low = Var.make ~volatile:true ~name:"low" 0 in
+            let high = Var.make ~volatile:true ~name:"high" 0 in
+            let rec enqueue x =
+              let i = Var.read high in
+              if i >= 4 then failwith "full"
+              else if Var.cas high i (i + 1) then begin
+                (* BUG: committed before the value is written *)
+                Var.write committed.(i) true;
+                Var.write values.(i) x
+              end
+              else (Rt.yield (); enqueue x)
+            in
+            let rec try_dequeue () =
+              let i = Var.read low in
+              if i >= Var.read high then Lineup_value.Value.Fail
+              else if Var.cas low i (i + 1) then begin
+                while not (Var.read committed.(i)) do
+                  Rt.yield ()
+                done;
+                Lineup_value.Value.int (Var.read values.(i))
+              end
+              else (Rt.yield (); try_dequeue ())
+            in
+            {
+              Adapter.invoke =
+                (fun (iv : Lineup_history.Invocation.t) ->
+                  match iv.name, iv.arg with
+                  | "Enqueue", Lineup_value.Value.Int x ->
+                    enqueue x;
+                    Lineup_value.Value.unit
+                  | "TryDequeue", Lineup_value.Value.Unit -> try_dequeue ()
+                  | _ -> assert false);
+            }
+          in
+          Adapter.make ~name:"broken-segment-queue"
+            ~universe:[ inv_int "Enqueue" 200; inv "TryDequeue" ]
+            create
+        in
+        let r =
+          Check.run broken
+            (Test_matrix.make [ [ inv_int "Enqueue" 200 ]; [ inv "TryDequeue" ] ])
+        in
+        match r.Check.verdict with
+        | Error (Check.No_witness _) -> ()
+        | _ -> Alcotest.failf "expected a violation, got %s" (Report.summary r));
+    test "lazy list: sequential set semantics" (fun () ->
+        let seq invs =
+          Lineup_runtime.Exec_ctx.reset ();
+          Lineup_runtime.Exec_ctx.set_current_tid 0;
+          Rt.run_inline (fun () ->
+              let inst = Conc.Lazy_list_set.correct.Adapter.create () in
+              List.map inst.Adapter.invoke invs)
+        in
+        let vb b = Lineup_value.Value.bool b in
+        Alcotest.(check (list value)) "semantics"
+          [ vb true; vb false; vb true; vb true; vb false; vb false ]
+          (seq
+             [
+               inv_int "Add" 10; inv_int "Add" 10; inv_int "Contains" 10; inv_int "Remove" 10;
+               inv_int "Remove" 10; inv_int "Contains" 10;
+             ]));
+  ]
+
+let tests = suite

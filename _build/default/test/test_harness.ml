@@ -1,0 +1,97 @@
+open Helpers
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Op = Lineup_history.Op
+module Rt = Lineup_runtime.Rt
+module Var = Lineup_runtime.Shared_var
+module Explore = Lineup_scheduler.Explore
+open Lineup
+
+(* A trivial register adapter for harness-level tests. *)
+let register_adapter =
+  let create () =
+    let v = Var.make ~name:"reg" 0 in
+    let invoke (i : Lineup_history.Invocation.t) =
+      match i.name, i.arg with
+      | "Write", Value.Int x ->
+        Var.write v x;
+        Value.unit
+      | "Read", Value.Unit -> Value.int (Var.read v)
+      | "Block", Value.Unit ->
+        Rt.block ~wake:(fun () -> false) "never";
+        Value.unit
+      | _ -> Fmt.invalid_arg "register: %s" i.name
+    in
+    { Adapter.invoke }
+  in
+  Adapter.make ~name:"register" ~universe:[ inv "Read"; inv_int "Write" 1 ] create
+
+let collect ?(config = Explore.serial_config) test =
+  let histories = ref [] in
+  let _ =
+    Harness.run_phase config ~adapter:register_adapter ~test ~on_history:(fun r ->
+        histories := r.Harness.history :: !histories;
+        `Continue)
+  in
+  List.rev !histories
+
+let suite =
+  [
+    test "records one op per invocation" (fun () ->
+        let test = Test_matrix.make [ [ inv_int "Write" 5; inv "Read" ] ] in
+        match collect test with
+        | [ h ] ->
+          Alcotest.(check int) "ops" 2 (List.length (History.ops h));
+          Alcotest.(check bool) "complete" true (History.is_complete h)
+        | hs -> Alcotest.failf "expected 1 history, got %d" (List.length hs));
+    test "single-thread history is serial with correct responses" (fun () ->
+        let test = Test_matrix.make [ [ inv_int "Write" 5; inv "Read" ] ] in
+        let h = List.hd (collect test) in
+        match Lineup_history.Serial_history.of_history h with
+        | Some s ->
+          let responses = List.map (fun e -> e.Lineup_history.Serial_history.resp) s.entries in
+          Alcotest.(check (list value)) "responses" [ Value.unit; Value.int 5 ] responses
+        | None -> Alcotest.fail "expected serial");
+    test "serial phase explores both operation orders" (fun () ->
+        let test = Test_matrix.make [ [ inv_int "Write" 5 ]; [ inv "Read" ] ] in
+        let hs = collect test in
+        Alcotest.(check int) "orders" 2 (List.length hs));
+    test "init sequence is applied but not recorded" (fun () ->
+        let test = Test_matrix.make ~init:[ inv_int "Write" 9 ] [ [ inv "Read" ] ] in
+        let h = List.hd (collect test) in
+        Alcotest.(check int) "one op" 1 (List.length (History.ops h));
+        let op = List.hd (History.ops h) in
+        Alcotest.check value "read initialized" (Value.int 9) (Option.get op.Op.resp));
+    test "final sequence runs as the observer thread after everything" (fun () ->
+        let test =
+          Test_matrix.make ~final:[ inv "Read" ] [ [ inv_int "Write" 7 ] ]
+        in
+        let h = List.hd (collect test) in
+        let ops = History.ops h in
+        Alcotest.(check int) "two ops" 2 (List.length ops);
+        let final_op = List.find (fun (o : Op.t) -> o.tid = 1) ops in
+        Alcotest.check value "observes the write" (Value.int 7) (Option.get final_op.Op.resp);
+        (* the final op is ordered after the write in real time *)
+        let write_op = List.find (fun (o : Op.t) -> o.tid = 0) ops in
+        Alcotest.(check bool) "ordered" true (Op.precedes write_op final_op));
+    test "blocked operation yields a stuck serial history" (fun () ->
+        let test = Test_matrix.make [ [ inv "Block" ]; [ inv "Read" ] ] in
+        let hs = collect test in
+        (* order Read-first completes Read then sticks on Block; order
+           Block-first sticks immediately *)
+        Alcotest.(check bool) "some stuck" true (List.exists History.is_stuck hs);
+        List.iter
+          (fun h ->
+            if History.is_stuck h then
+              Alcotest.(check int) "one pending" 1 (List.length (History.pending_ops h)))
+          hs);
+    test "concurrent phase produces overlapping histories" (fun () ->
+        let test = Test_matrix.make [ [ inv_int "Write" 1 ]; [ inv_int "Write" 2 ] ] in
+        let hs = collect ~config:{ Explore.default_config with preemption_bound = None } test in
+        Alcotest.(check bool) "several executions" true (List.length hs >= 2));
+    test "observer tid is the column count" (fun () ->
+        let test = Test_matrix.make [ [ inv "Read" ]; [ inv "Read" ] ] in
+        Alcotest.(check int) "tid" 2 (Harness.observer_tid test));
+  ]
+
+let tests = suite

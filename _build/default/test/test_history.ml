@@ -1,0 +1,146 @@
+open Helpers
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Op = Lineup_history.Op
+module Event = Lineup_history.Event
+
+(* The history of Fig. 2: H = (set(0) A)(get B)(ok A)(inc A)(ok(0) B)
+   (get B)(ok A... adapted to our counter naming. Thread A: Set(0) then Inc;
+   thread B: Get (returning 0) then Get (returning 1). *)
+let fig2 =
+  history
+    [
+      call 0 0 "Set" ~arg:(Value.int 0) ();
+      call 1 0 "Get" ();
+      ret 0 0 Value.unit;
+      call 0 1 "Inc" ();
+      ret 1 0 (Value.int 0);
+      call 1 1 "Get" ();
+      ret 1 1 (Value.int 1);
+    ]
+
+let ops_of h = History.ops h
+
+let suite =
+  [
+    test "well-formed accepts fig2" (fun () ->
+        Alcotest.(check int) "events" 7 (History.length fig2));
+    test "rejects double call" (fun () ->
+        match history [ call 0 0 "A" (); call 0 1 "B" () ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "rejects return without call" (fun () ->
+        match history [ ret 0 0 Value.unit ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "rejects bad op_index" (fun () ->
+        match history [ call 0 3 "A" () ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "threads of fig2" (fun () ->
+        Alcotest.(check (list int)) "threads" [ 0; 1 ] (History.threads fig2));
+    test "thread subhistory lengths" (fun () ->
+        Alcotest.(check int) "A" 3 (List.length (History.thread_sub fig2 0));
+        Alcotest.(check int) "B" 4 (List.length (History.thread_sub fig2 1)));
+    test "ops of fig2" (fun () ->
+        let ops = ops_of fig2 in
+        Alcotest.(check int) "count" 4 (List.length ops);
+        let pending = List.filter Op.is_pending ops in
+        Alcotest.(check int) "pending" 1 (List.length pending);
+        let p = List.hd pending in
+        Alcotest.(check int) "pending thread" 0 p.Op.tid;
+        Alcotest.(check string) "pending name" "Inc" p.Op.inv.Lineup_history.Invocation.name);
+    test "fig2 is not complete" (fun () ->
+        Alcotest.(check bool) "complete" false (History.is_complete fig2));
+    test "complete() drops pending calls" (fun () ->
+        let c = History.complete fig2 in
+        Alcotest.(check bool) "complete" true (History.is_complete c);
+        Alcotest.(check int) "events" 6 (History.length c));
+    test "fig2 not serial" (fun () ->
+        Alcotest.(check bool) "serial" false (History.is_serial fig2));
+    test "serial history detected" (fun () ->
+        let h =
+          history [ call 0 0 "Inc" (); ret 0 0 Value.unit; call 1 0 "Get" (); ret 1 0 (Value.int 1) ]
+        in
+        Alcotest.(check bool) "serial" true (History.is_serial h));
+    test "empty history is serial and complete" (fun () ->
+        let h = history [] in
+        Alcotest.(check bool) "serial" true (History.is_serial h);
+        Alcotest.(check bool) "complete" true (History.is_complete h));
+    test "stuck serial history ends with pending call" (fun () ->
+        let h =
+          history ~stuck:true
+            [ call 0 0 "Inc" (); ret 0 0 Value.unit; call 1 0 "Dec" () ]
+        in
+        Alcotest.(check bool) "serial" true (History.is_serial h);
+        Alcotest.(check bool) "stuck" true (History.is_stuck h));
+    test "precedence: sequential ops ordered" (fun () ->
+        let h =
+          history [ call 0 0 "A" (); ret 0 0 Value.unit; call 1 0 "B" (); ret 1 0 Value.unit ]
+        in
+        match ops_of h with
+        | [ a; b ] ->
+          Alcotest.(check bool) "a<b" true (Op.precedes a b);
+          Alcotest.(check bool) "not b<a" false (Op.precedes b a);
+          Alcotest.(check bool) "not overlapping" false (Op.overlapping a b)
+        | _ -> Alcotest.fail "expected two ops");
+    test "precedence: overlapping ops unordered" (fun () ->
+        let h =
+          history [ call 0 0 "A" (); call 1 0 "B" (); ret 0 0 Value.unit; ret 1 0 Value.unit ]
+        in
+        match ops_of h with
+        | [ a; b ] ->
+          Alcotest.(check bool) "not a<b" false (Op.precedes a b);
+          Alcotest.(check bool) "not b<a" false (Op.precedes b a);
+          Alcotest.(check bool) "overlapping" true (Op.overlapping a b)
+        | _ -> Alcotest.fail "expected two ops");
+    test "pending op precedes nothing" (fun () ->
+        let h = history [ call 0 0 "A" (); call 1 0 "B" (); ret 1 0 Value.unit ] in
+        match ops_of h with
+        | [ a; b ] ->
+          Alcotest.(check bool) "not a<b" false (Op.precedes a b);
+          Alcotest.(check bool) "not b<a" false (Op.precedes b a)
+        | _ -> Alcotest.fail "expected two ops");
+    test "restrict_to_pending keeps complete ops and one pending call" (fun () ->
+        let h =
+          history ~stuck:true
+            [
+              call 0 0 "A" ();
+              ret 0 0 Value.unit;
+              call 1 0 "B" ();
+              call 2 0 "C" ();
+            ]
+        in
+        let pending = History.pending_ops h in
+        Alcotest.(check int) "two pending" 2 (List.length pending);
+        let b = List.find (fun (o : Op.t) -> o.tid = 1) pending in
+        let hb = History.restrict_to_pending h b in
+        Alcotest.(check int) "events" 3 (History.length hb);
+        Alcotest.(check bool) "stuck" true (History.is_stuck hb);
+        Alcotest.(check int) "one pending" 1 (List.length (History.pending_ops hb)));
+    test "restrict_to_pending rejects complete op" (fun () ->
+        let h = history ~stuck:true [ call 0 0 "A" (); ret 0 0 Value.unit; call 1 0 "B" () ] in
+        let a = List.hd (History.complete_ops h) in
+        match History.restrict_to_pending h a with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "prefixes count" (fun () ->
+        Alcotest.(check int) "prefixes" 8 (List.length (History.prefixes fig2)));
+    test "prefixes are well-formed histories" (fun () ->
+        List.iter (fun p -> ignore (History.ops p)) (History.prefixes fig2));
+    test "interleaving notation" (fun () ->
+        let h =
+          history [ call 0 0 "A" (); call 1 0 "B" (); ret 0 0 Value.unit; ret 1 0 Value.unit ]
+        in
+        Alcotest.(check string) "tokens" "1[ 2[ ]1 ]2" (Fmt.str "%a" History.pp_interleaving h));
+    test "interleaving notation stuck" (fun () ->
+        let h = history ~stuck:true [ call 0 0 "A" () ] in
+        Alcotest.(check string) "tokens" "1[ #" (Fmt.str "%a" History.pp_interleaving h));
+    test "thread labels" (fun () ->
+        Alcotest.(check string) "A" "A" (Event.thread_label 0);
+        Alcotest.(check string) "B" "B" (Event.thread_label 1);
+        Alcotest.(check string) "Z" "Z" (Event.thread_label 25);
+        Alcotest.(check string) "A1" "A1" (Event.thread_label 26));
+  ]
+
+let tests = suite

@@ -1,0 +1,101 @@
+open Helpers
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Serial_history = Lineup_history.Serial_history
+open Lineup
+
+let u = Value.Unit
+
+let add_ok obs s =
+  match Observation.add obs s with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unexpected nondeterminism"
+
+let suite =
+  [
+    test "add and count" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial [ 0, "Inc", u, Value.unit ]);
+        add_ok obs (serial ~stuck:(0, "Dec", u) []);
+        Alcotest.(check int) "full" 1 (Observation.num_full obs);
+        Alcotest.(check int) "stuck" 1 (Observation.num_stuck obs));
+    test "duplicates are ignored" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial [ 0, "Inc", u, Value.unit ]);
+        add_ok obs (serial [ 0, "Inc", u, Value.unit ]);
+        Alcotest.(check int) "full" 1 (Observation.num_full obs));
+    test "nondeterminism detected on differing responses" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial [ 0, "Get", u, Value.int 0 ]);
+        match Observation.add obs (serial [ 0, "Get", u, Value.int 1 ]) with
+        | Error (s1, s2) ->
+          Alcotest.(check bool) "pair differs" false (Serial_history.equal s1 s2)
+        | Ok () -> Alcotest.fail "expected nondeterminism");
+    test "nondeterminism detected on response vs stuck" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial [ 0, "Dec", u, Value.unit ]);
+        match Observation.add obs (serial ~stuck:(0, "Dec", u) []) with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected nondeterminism");
+    test "no false nondeterminism across different prefixes" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial [ 0, "Inc", u, Value.unit; 0, "Get", u, Value.int 1 ]);
+        add_ok obs (serial [ 0, "Get", u, Value.int 0; 0, "Inc", u, Value.unit ]);
+        add_ok obs (serial ~stuck:(1, "Dec", u) [ 0, "Get", u, Value.int 0 ]);
+        Alcotest.(check int) "full" 2 (Observation.num_full obs));
+    test "witness lookup finds matching group" (fun () ->
+        let obs = Observation.create () in
+        let s =
+          serial [ 0, "Inc", u, Value.unit; 1, "Inc", u, Value.unit; 0, "Get", u, Value.int 2 ]
+        in
+        add_ok obs s;
+        let h =
+          history
+            [
+              call 0 0 "Inc" ();
+              call 1 0 "Inc" ();
+              ret 0 0 Value.unit;
+              ret 1 0 Value.unit;
+              call 0 1 "Get" ();
+              ret 0 1 (Value.int 2);
+            ]
+        in
+        Alcotest.(check (option serial_t)) "found" (Some s) (Observation.find_witness_full obs h));
+    test "witness lookup respects real-time order" (fun () ->
+        let obs = Observation.create () in
+        (* only witness orders Get before B's Inc *)
+        add_ok obs
+          (serial [ 0, "Inc", u, Value.unit; 0, "Get", u, Value.int 1; 1, "Inc", u, Value.unit ]);
+        (* but in H, B's Inc completes before Get starts *)
+        let h =
+          history
+            [
+              call 0 0 "Inc" ();
+              ret 0 0 Value.unit;
+              call 1 0 "Inc" ();
+              ret 1 0 Value.unit;
+              call 0 1 "Get" ();
+              ret 0 1 (Value.int 1);
+            ]
+        in
+        Alcotest.(check (option serial_t)) "no witness" None (Observation.find_witness_full obs h));
+    test "stuck lookup goes through H[e]" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial ~stuck:(0, "Wait", u) []);
+        add_ok obs (serial ~stuck:(1, "Wait", u) []);
+        let h = history ~stuck:true [ call 0 0 "Wait" (); call 1 0 "Wait" () ] in
+        Alcotest.(check bool) "both justified" true
+          (Result.is_ok (Observation.linearizable_stuck obs h)));
+    test "stuck lookup reports the unjustified op" (fun () ->
+        let obs = Observation.create () in
+        add_ok obs (serial ~stuck:(0, "Wait", u) []);
+        let h =
+          history ~stuck:true
+            [ call 1 0 "Set" (); ret 1 0 Value.unit; call 0 0 "Wait" () ]
+        in
+        match Observation.linearizable_stuck obs h with
+        | Error op -> Alcotest.(check int) "tid" 0 op.Lineup_history.Op.tid
+        | Ok () -> Alcotest.fail "expected unjustified");
+  ]
+
+let tests = suite

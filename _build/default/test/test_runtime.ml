@@ -1,0 +1,205 @@
+open Helpers
+module Rt = Lineup_runtime.Rt
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+module Condvar = Lineup_runtime.Condvar
+module Exec_ctx = Lineup_runtime.Exec_ctx
+module Explore = Lineup_scheduler.Explore
+
+(* Run a single-threaded program under the inline handler. *)
+let inline = Rt.run_inline
+
+let suite =
+  [
+    test "var read/write" (fun () ->
+        inline (fun () ->
+            let v = Var.make 1 in
+            Alcotest.(check int) "initial" 1 (Var.read v);
+            Var.write v 5;
+            Alcotest.(check int) "written" 5 (Var.read v)));
+    test "var cas success and failure" (fun () ->
+        inline (fun () ->
+            let v = Var.make 1 in
+            Alcotest.(check bool) "cas ok" true (Var.cas v 1 2);
+            Alcotest.(check bool) "cas stale" false (Var.cas v 1 3);
+            Alcotest.(check int) "value" 2 (Var.read v)));
+    test "var fetch_and_add" (fun () ->
+        inline (fun () ->
+            let v = Var.make 10 in
+            Alcotest.(check int) "prev" 10 (Var.fetch_and_add v 5);
+            Alcotest.(check int) "now" 15 (Var.read v)));
+    test "var exchange" (fun () ->
+        inline (fun () ->
+            let v = Var.make "a" in
+            Alcotest.(check string) "prev" "a" (Var.exchange v "b");
+            Alcotest.(check string) "now" "b" (Var.read v)));
+    test "var update" (fun () ->
+        inline (fun () ->
+            let v = Var.make 3 in
+            Alcotest.(check int) "new" 6 (Var.update v (fun x -> x * 2))));
+    test "peek/poke do not schedule" (fun () ->
+        (* peek/poke are usable outside any handler *)
+        let v = Var.make 1 in
+        Var.poke v 9;
+        Alcotest.(check int) "poked" 9 (Var.peek v));
+    test "mutex acquire/release" (fun () ->
+        inline (fun () ->
+            Exec_ctx.set_current_tid 0;
+            let m = Mutex_.create () in
+            Alcotest.(check (option int)) "free" None (Mutex_.holder m);
+            Mutex_.acquire m;
+            Alcotest.(check (option int)) "held" (Some 0) (Mutex_.holder m);
+            Mutex_.release m;
+            Alcotest.(check (option int)) "free again" None (Mutex_.holder m)));
+    test "mutex release by non-holder rejected" (fun () ->
+        inline (fun () ->
+            Exec_ctx.set_current_tid 0;
+            let m = Mutex_.create () in
+            Mutex_.acquire m;
+            Exec_ctx.set_current_tid 1;
+            (match Mutex_.release m with
+             | exception Invalid_argument _ -> ()
+             | () -> Alcotest.fail "expected rejection");
+            Exec_ctx.set_current_tid 0;
+            Mutex_.release m));
+    test "mutex release when free rejected" (fun () ->
+        inline (fun () ->
+            let m = Mutex_.create () in
+            match Mutex_.release m with
+            | exception Invalid_argument _ -> ()
+            | () -> Alcotest.fail "expected rejection"));
+    test "try_acquire" (fun () ->
+        inline (fun () ->
+            Exec_ctx.set_current_tid 0;
+            let m = Mutex_.create () in
+            Alcotest.(check bool) "take" true (Mutex_.try_acquire m);
+            Exec_ctx.set_current_tid 1;
+            Alcotest.(check bool) "busy" false (Mutex_.try_acquire m)));
+    test "with_lock releases on exception" (fun () ->
+        inline (fun () ->
+            Exec_ctx.set_current_tid 0;
+            let m = Mutex_.create () in
+            (match Mutex_.with_lock m (fun () -> failwith "boom") with
+             | exception Failure _ -> ()
+             | () -> Alcotest.fail "expected exception");
+            Alcotest.(check (option int)) "released" None (Mutex_.holder m)));
+    test "run_inline services choose with 0" (fun () ->
+        Alcotest.(check int) "choice" 0 (inline (fun () -> Rt.choose 5)));
+    test "run_inline fails on false block" (fun () ->
+        match inline (fun () -> Rt.block ~wake:(fun () -> false) "never") with
+        | exception Failure _ -> ()
+        | () -> Alcotest.fail "expected failure");
+    test "block with true predicate is a no-op" (fun () ->
+        inline (fun () -> Rt.block ~wake:(fun () -> true) "already"));
+    test "exec_ctx loc ids are sequential after reset" (fun () ->
+        Exec_ctx.reset ();
+        Alcotest.(check int) "0" 0 (Exec_ctx.fresh_loc ());
+        Alcotest.(check int) "1" 1 (Exec_ctx.fresh_loc ());
+        Exec_ctx.reset ();
+        Alcotest.(check int) "0 again" 0 (Exec_ctx.fresh_loc ()));
+    test "exec_ctx logging gate" (fun () ->
+        Exec_ctx.reset ();
+        Exec_ctx.set_logging false;
+        Exec_ctx.log (Exec_ctx.Op_start { tid = 0; op_index = 0 });
+        Alcotest.(check int) "off" 0 (List.length (Exec_ctx.current_log ()));
+        Exec_ctx.set_logging true;
+        Exec_ctx.log (Exec_ctx.Op_start { tid = 0; op_index = 0 });
+        Alcotest.(check int) "on" 1 (List.length (Exec_ctx.current_log ()));
+        Exec_ctx.set_logging false);
+    test "condvar: pulse before wait is lost (monitor semantics)" (fun () ->
+        (* run under the explorer: T0 pulses then T1 waits forever *)
+        let deadlocks = ref 0 in
+        let stats =
+          Explore.explore
+            { Explore.default_config with max_executions = Some 100 }
+            ~setup:(fun () ->
+              let m = Mutex_.create () in
+              let cv = Condvar.create () in
+              [|
+                (fun () -> Mutex_.with_lock m (fun () -> Condvar.pulse_all ~m cv));
+                (fun () ->
+                  Mutex_.acquire m;
+                  Condvar.wait cv m;
+                  Mutex_.release m);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Deadlock _ -> incr deadlocks
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check bool) "some execution loses the wakeup" true (!deadlocks > 0);
+        Alcotest.(check bool) "ran" true (stats.Explore.executions > 0));
+    test "condvar: wait before pulse is woken" (fun () ->
+        (* waiter first, then pulse: no execution may deadlock when the
+           waiter provably registers first (single schedule: forced by
+           making the pulser block on the waiter's registration) *)
+        let deadlocks = ref 0 in
+        let _ =
+          Explore.explore
+            { Explore.default_config with max_executions = Some 200 }
+            ~setup:(fun () ->
+              let m = Mutex_.create () in
+              let cv = Condvar.create () in
+              let registered = Var.make ~name:"registered" false in
+              [|
+                (fun () ->
+                  Rt.block ~wake:(fun () -> Var.peek registered) "waiter registered";
+                  Mutex_.with_lock m (fun () -> Condvar.pulse_all ~m cv));
+                (fun () ->
+                  Mutex_.acquire m;
+                  Var.write registered true;
+                  Condvar.wait cv m;
+                  Mutex_.release m);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Deadlock _ -> incr deadlocks
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check int) "no lost wakeup" 0 !deadlocks);
+    test "condvar: pulse wakes exactly one waiter" (fun () ->
+        (* two waiters, one pulse: exactly one execution outcome class —
+           one waiter completes, one deadlocks *)
+        let saw_partial = ref false in
+        let _ =
+          Explore.explore
+            { Explore.default_config with max_executions = Some 200 }
+            ~setup:(fun () ->
+              let m = Mutex_.create () in
+              let cv = Condvar.create () in
+              let registered = Var.make ~name:"count" 0 in
+              [|
+                (fun () ->
+                  Rt.block ~wake:(fun () -> Var.peek registered = 2) "both registered";
+                  Mutex_.with_lock m (fun () -> Condvar.pulse ~m cv));
+                (fun () ->
+                  Mutex_.acquire m;
+                  Var.write registered (Var.read registered + 1);
+                  Condvar.wait cv m;
+                  Mutex_.release m);
+                (fun () ->
+                  Mutex_.acquire m;
+                  Var.write registered (Var.read registered + 1);
+                  Condvar.wait cv m;
+                  Mutex_.release m);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Deadlock [ _ ] -> saw_partial := true
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check bool) "one waiter left blocked" true !saw_partial);
+    test "condvar: pulse without the monitor is rejected" (fun () ->
+        inline (fun () ->
+            Exec_ctx.set_current_tid 0;
+            let m = Mutex_.create () in
+            let cv = Condvar.create () in
+            match Condvar.pulse_all ~m cv with
+            | exception Invalid_argument _ -> ()
+            | () -> Alcotest.fail "expected rejection"));
+  ]
+
+let tests = suite

@@ -1,0 +1,344 @@
+open Helpers
+module Rt = Lineup_runtime.Rt
+module Var = Lineup_runtime.Shared_var
+module Mutex_ = Lineup_runtime.Mutex_
+module Explore = Lineup_scheduler.Explore
+
+let unbounded = { Explore.default_config with preemption_bound = None }
+
+let count_executions ?(config = unbounded) setup =
+  let n = ref 0 in
+  let stats =
+    Explore.explore config ~setup ~on_execution:(fun _ ->
+        incr n;
+        `Continue)
+  in
+  !n, stats
+
+(* k threads, each performing n accesses to a shared variable. *)
+let accesses_program ~threads ~accesses () =
+  let v = Var.make 0 in
+  Array.init threads (fun _ () ->
+      for _ = 1 to accesses do
+        ignore (Var.read v)
+      done)
+
+let multinomial ks =
+  let fact n = List.fold_left ( * ) 1 (List.init n (fun i -> i + 1)) in
+  fact (List.fold_left ( + ) 0 ks) / List.fold_left (fun acc k -> acc * fact k) 1 ks
+
+let suite =
+  [
+    test "exhaustive interleavings: 2 threads x 2 accesses = C(4,2)" (fun () ->
+        let n, stats = count_executions (accesses_program ~threads:2 ~accesses:2) in
+        Alcotest.(check int) "executions" (multinomial [ 2; 2 ]) n;
+        Alcotest.(check bool) "complete" true stats.Explore.complete);
+    test "exhaustive interleavings: 3 threads x 1 access = 3!" (fun () ->
+        let n, _ = count_executions (accesses_program ~threads:3 ~accesses:1) in
+        Alcotest.(check int) "executions" 6 n);
+    test "exhaustive interleavings: 2 threads x 3 accesses = C(6,3)" (fun () ->
+        let n, _ = count_executions (accesses_program ~threads:2 ~accesses:3) in
+        Alcotest.(check int) "executions" (multinomial [ 3; 3 ]) n);
+    test "single thread explores once" (fun () ->
+        let n, _ = count_executions (accesses_program ~threads:1 ~accesses:5) in
+        Alcotest.(check int) "executions" 1 n);
+    test "preemption bound 0 forbids mid-run switches" (fun () ->
+        (* with PB=0, a thread runs its accesses to completion: one
+           execution per thread order... but switches at voluntary points
+           only; threads never block so each runs to completion: orders of
+           threads = 2 ... however switch can only happen at thread end, so
+           executions = 1 starting thread choice? The first decision can
+           pick either thread (no previous running thread): 2 executions. *)
+        let n, _ =
+          count_executions
+            ~config:{ Explore.default_config with preemption_bound = Some 0 }
+            (accesses_program ~threads:2 ~accesses:3)
+        in
+        Alcotest.(check int) "executions" 2 n);
+    test "preemption bound 1 allows one switch" (fun () ->
+        let n0, _ =
+          count_executions
+            ~config:{ Explore.default_config with preemption_bound = Some 0 }
+            (accesses_program ~threads:2 ~accesses:2)
+        in
+        let n1, _ =
+          count_executions
+            ~config:{ Explore.default_config with preemption_bound = Some 1 }
+            (accesses_program ~threads:2 ~accesses:2)
+        in
+        let nu, _ = count_executions (accesses_program ~threads:2 ~accesses:2) in
+        Alcotest.(check bool) "monotone" true (n0 < n1 && n1 < nu));
+    test "preemption bounding reports pruned choices" (fun () ->
+        let _, stats =
+          count_executions
+            ~config:{ Explore.default_config with preemption_bound = Some 0 }
+            (accesses_program ~threads:2 ~accesses:2)
+        in
+        Alcotest.(check bool) "pruned" true (stats.Explore.pruned_choices > 0));
+    test "deterministic replay: outcomes stable across runs" (fun () ->
+        let run () =
+          let ends = ref [] in
+          let _ =
+            Explore.explore unbounded
+              ~setup:(fun () ->
+                let v = Var.make 0 in
+                [|
+                  (fun () -> Var.write v 1);
+                  (fun () -> ignore (Var.read v));
+                |])
+              ~on_execution:(fun o ->
+                ends := o.Explore.steps :: !ends;
+                `Continue)
+          in
+          !ends
+        in
+        Alcotest.(check (list int)) "same step sequence" (run ()) (run ()));
+    test "deadlock detection: classic lock-order inversion" (fun () ->
+        let deadlocks = ref 0 in
+        let _ =
+          Explore.explore unbounded
+            ~setup:(fun () ->
+              let m1 = Mutex_.create ~name:"m1" () in
+              let m2 = Mutex_.create ~name:"m2" () in
+              [|
+                (fun () ->
+                  Mutex_.acquire m1;
+                  Mutex_.acquire m2;
+                  Mutex_.release m2;
+                  Mutex_.release m1);
+                (fun () ->
+                  Mutex_.acquire m2;
+                  Mutex_.acquire m1;
+                  Mutex_.release m1;
+                  Mutex_.release m2);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Deadlock [ 0; 1 ] -> incr deadlocks
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check bool) "deadlock found" true (!deadlocks > 0));
+    test "no false deadlocks with consistent lock order" (fun () ->
+        let deadlocks = ref 0 in
+        let _ =
+          Explore.explore unbounded
+            ~setup:(fun () ->
+              let m1 = Mutex_.create () in
+              let m2 = Mutex_.create () in
+              let body () =
+                Mutex_.acquire m1;
+                Mutex_.acquire m2;
+                Mutex_.release m2;
+                Mutex_.release m1
+              in
+              [| body; body |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Deadlock _ -> incr deadlocks
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check int) "none" 0 !deadlocks);
+    test "choose explores both branches" (fun () ->
+        let seen = Hashtbl.create 4 in
+        let _ =
+          Explore.explore unbounded
+            ~setup:(fun () ->
+              let v = Var.make (-1) in
+              [| (fun () -> Var.write v (Rt.choose 2)) |])
+            ~on_execution:(fun _ -> `Continue)
+        in
+        ignore seen;
+        let n, _ =
+          count_executions (fun () -> [| (fun () -> ignore (Rt.choose 3)) |])
+        in
+        Alcotest.(check int) "three branches" 3 n);
+    test "nested choices multiply" (fun () ->
+        let n, _ =
+          count_executions (fun () ->
+              [| (fun () -> ignore (Rt.choose 2); ignore (Rt.choose 2)) |])
+        in
+        Alcotest.(check int) "four" 4 n);
+    test "serial mode: accesses are not scheduling points" (fun () ->
+        let n, _ =
+          count_executions ~config:Explore.serial_config
+            (accesses_program ~threads:2 ~accesses:5)
+        in
+        (* no operation boundaries in this program, so each thread runs
+           atomically during start fusion: a single execution covers the
+           space *)
+        Alcotest.(check int) "one execution" 1 n);
+    test "serial mode: boundaries are scheduling points" (fun () ->
+        let program () =
+          let v = Var.make 0 in
+          Array.init 2 (fun _ () ->
+              for _ = 1 to 2 do
+                Rt.op_boundary ();
+                ignore (Var.read v)
+              done)
+        in
+        let n, _ = count_executions ~config:Explore.serial_config program in
+        Alcotest.(check int) "multinomial orders" (multinomial [ 2; 2 ]) n);
+    test "serial mode stops at a blocked thread" (fun () ->
+        let stucks = ref 0 in
+        let _ =
+          Explore.explore Explore.serial_config
+            ~setup:(fun () ->
+              let flag = Var.make false in
+              [|
+                (fun () ->
+                  Rt.op_boundary ();
+                  Rt.block ~wake:(fun () -> Var.peek flag) "flag");
+                (fun () ->
+                  Rt.op_boundary ();
+                  Var.write flag true);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Serial_stuck 0 -> incr stucks
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check bool) "serial stuck branch observed" true (!stucks > 0));
+    test "fairness: spin loop against a finite writer terminates" (fun () ->
+        let diverged = ref 0 in
+        let stats =
+          Explore.explore
+            { unbounded with max_steps = 5_000 }
+            ~setup:(fun () ->
+              let flag = Var.make ~volatile:true false in
+              [|
+                (fun () ->
+                  (* spin until the flag is set, yielding as lock-free code
+                     does *)
+                  while not (Var.read flag) do
+                    Rt.yield ()
+                  done);
+                (fun () -> Var.write flag true);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Diverged -> incr diverged
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check int) "no divergence" 0 !diverged;
+        Alcotest.(check bool) "explored" true (stats.Explore.executions > 0));
+    test "divergence backstop trips on a genuine livelock" (fun () ->
+        let diverged = ref 0 in
+        let _ =
+          Explore.explore
+            { unbounded with max_steps = 200 }
+            ~setup:(fun () ->
+              let flag = Var.make false in
+              [|
+                (fun () ->
+                  while not (Var.read flag) do
+                    Rt.yield ()
+                  done);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Diverged -> incr diverged
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check bool) "diverged" true (!diverged > 0));
+    test "max_executions caps the exploration" (fun () ->
+        let n, stats =
+          count_executions
+            ~config:{ unbounded with max_executions = Some 3 }
+            (accesses_program ~threads:2 ~accesses:3)
+        in
+        Alcotest.(check int) "capped" 3 n;
+        Alcotest.(check bool) "incomplete" true (not stats.Explore.complete));
+    test "on_execution `Stop ends exploration" (fun () ->
+        let n = ref 0 in
+        let stats =
+          Explore.explore unbounded
+            ~setup:(accesses_program ~threads:2 ~accesses:2)
+            ~on_execution:(fun _ ->
+              incr n;
+              `Stop)
+        in
+        Alcotest.(check int) "one" 1 !n;
+        Alcotest.(check bool) "incomplete" true (not stats.Explore.complete));
+    test "thread exceptions are reported, not thrown" (fun () ->
+        let errors = ref 0 in
+        let _ =
+          Explore.explore unbounded
+            ~setup:(fun () -> [| (fun () -> failwith "kaboom") |])
+            ~on_execution:(fun o ->
+              if o.Explore.errors <> [] then incr errors;
+              `Continue)
+        in
+        Alcotest.(check int) "reported" 1 !errors);
+    test "lost update found exhaustively" (fun () ->
+        (* the classic increment race must be observable *)
+        let lost = ref false in
+        let result = Var.make 0 in
+        let _ =
+          Explore.explore unbounded
+            ~setup:(fun () ->
+              Var.poke result 0;
+              let v = Var.make 0 in
+              let incr_body () =
+                let x = Var.read v in
+                Var.write v (x + 1);
+                Var.poke result (Var.peek v)
+              in
+              [| incr_body; incr_body |])
+            ~on_execution:(fun _ ->
+              if Var.peek result = 1 then lost := true;
+              `Continue)
+        in
+        Alcotest.(check bool) "lost update observed" true !lost);
+    test "blocked threads wake when the predicate turns true" (fun () ->
+        let deadlocks = ref 0 in
+        let _ =
+          Explore.explore unbounded
+            ~setup:(fun () ->
+              let flag = Var.make false in
+              [|
+                (fun () -> Rt.block ~wake:(fun () -> Var.peek flag) "flag");
+                (fun () -> Var.write flag true);
+              |])
+            ~on_execution:(fun o ->
+              (match o.Explore.exec_end with
+               | Explore.Deadlock _ -> incr deadlocks
+               | _ -> ());
+              `Continue)
+        in
+        Alcotest.(check int) "no deadlock" 0 !deadlocks);
+    test "random walk runs the requested number of executions" (fun () ->
+        let n = ref 0 in
+        let stats =
+          Explore.random_walk unbounded
+            ~rng:(Random.State.make [| 42 |])
+            ~executions:25
+            ~setup:(accesses_program ~threads:2 ~accesses:2)
+            ~on_execution:(fun _ ->
+              incr n;
+              `Continue)
+        in
+        Alcotest.(check int) "count" 25 !n;
+        Alcotest.(check bool) "never complete" true (not stats.Explore.complete));
+    test "random walk is reproducible from the seed" (fun () ->
+        let run () =
+          let steps = ref [] in
+          let _ =
+            Explore.random_walk unbounded
+              ~rng:(Random.State.make [| 7 |])
+              ~executions:10
+              ~setup:(accesses_program ~threads:3 ~accesses:2)
+              ~on_execution:(fun o ->
+                steps := o.Explore.steps :: !steps;
+                `Continue)
+          in
+          !steps
+        in
+        Alcotest.(check (list int)) "same" (run ()) (run ()));
+  ]
+
+let tests = suite

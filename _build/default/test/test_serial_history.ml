@@ -1,0 +1,90 @@
+open Helpers
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Serial_history = Lineup_history.Serial_history
+
+let u = Value.Unit
+
+let suite =
+  [
+    test "to_history/of_history roundtrip (full)" (fun () ->
+        let s = serial [ 0, "Inc", u, Value.unit; 1, "Get", u, Value.int 1 ] in
+        Alcotest.(check (option serial_t))
+          "roundtrip" (Some s)
+          (Serial_history.of_history (Serial_history.to_history s)));
+    test "to_history/of_history roundtrip (stuck)" (fun () ->
+        let s = serial ~stuck:(1, "Dec", u) [ 0, "Inc", u, Value.unit ] in
+        let h = Serial_history.to_history s in
+        Alcotest.(check bool) "stuck" true (History.is_stuck h);
+        Alcotest.(check (option serial_t)) "roundtrip" (Some s) (Serial_history.of_history h));
+    test "of_history rejects concurrent history" (fun () ->
+        let h =
+          history [ call 0 0 "A" (); call 1 0 "B" (); ret 0 0 Value.unit; ret 1 0 Value.unit ]
+        in
+        Alcotest.(check (option serial_t)) "none" None (Serial_history.of_history h));
+    test "num_ops counts the pending op" (fun () ->
+        let s = serial ~stuck:(1, "Dec", u) [ 0, "Inc", u, Value.unit ] in
+        Alcotest.(check int) "ops" 2 (Serial_history.num_ops s));
+    test "thread_key groups per thread in order" (fun () ->
+        let s =
+          serial
+            [
+              0, "Inc", u, Value.unit;
+              1, "Get", u, Value.int 1;
+              0, "Get", u, Value.int 1;
+            ]
+        in
+        match Serial_history.thread_key s with
+        | [ (0, ops0); (1, ops1) ] ->
+          Alcotest.(check int) "thread 0 ops" 2 (List.length ops0);
+          Alcotest.(check int) "thread 1 ops" 1 (List.length ops1)
+        | _ -> Alcotest.fail "unexpected key shape");
+    (* Nondeterminism detection (Section 2.1.2 / 2.3) *)
+    test "nondet: same call, different responses" (fun () ->
+        let s1 = serial [ 0, "Get", u, Value.int 0 ] in
+        let s2 = serial [ 0, "Get", u, Value.int 1 ] in
+        Alcotest.(check bool) "nondet" true (Serial_history.nondeterministic_pair s1 s2));
+    test "nondet: response vs stuck" (fun () ->
+        let s1 = serial [ 0, "Dec", u, Value.unit ] in
+        let s2 = serial ~stuck:(0, "Dec", u) [] in
+        Alcotest.(check bool) "nondet" true (Serial_history.nondeterministic_pair s1 s2);
+        Alcotest.(check bool) "nondet sym" true (Serial_history.nondeterministic_pair s2 s1));
+    test "deterministic: different calls after common prefix" (fun () ->
+        let s1 = serial [ 0, "Inc", u, Value.unit; 0, "Get", u, Value.int 1 ] in
+        let s2 = serial [ 0, "Inc", u, Value.unit; 1, "Get", u, Value.int 1 ] in
+        Alcotest.(check bool) "det" false (Serial_history.nondeterministic_pair s1 s2));
+    test "deterministic: identical histories" (fun () ->
+        let s = serial [ 0, "Inc", u, Value.unit ] in
+        Alcotest.(check bool) "det" false (Serial_history.nondeterministic_pair s s));
+    test "deterministic: same invocation by different threads may differ" (fun () ->
+        (* the formal definition is thread-sensitive: divergence after a
+           return event is fine *)
+        let s1 = serial [ 0, "TryTake", u, Value.int 1 ] in
+        let s2 = serial [ 1, "TryTake", u, Value.Fail ] in
+        Alcotest.(check bool) "det" false (Serial_history.nondeterministic_pair s1 s2));
+    test "nondet deep in the history" (fun () ->
+        let prefix = [ 0, "Inc", u, Value.unit; 1, "Inc", u, Value.unit ] in
+        let s1 = serial (prefix @ [ 0, "Get", u, Value.int 2 ]) in
+        let s2 = serial (prefix @ [ 0, "Get", u, Value.int 1 ]) in
+        Alcotest.(check bool) "nondet" true (Serial_history.nondeterministic_pair s1 s2));
+    test "deterministic: diverging prefixes" (fun () ->
+        let s1 = serial [ 0, "Inc", u, Value.unit; 0, "Get", u, Value.int 1 ] in
+        let s2 = serial [ 0, "Get", u, Value.int 0; 0, "Inc", u, Value.unit ] in
+        Alcotest.(check bool) "det" false (Serial_history.nondeterministic_pair s1 s2));
+    test "deterministic: both stuck at same point" (fun () ->
+        let s1 = serial ~stuck:(0, "Dec", u) [] in
+        let s2 = serial ~stuck:(0, "Dec", u) [] in
+        Alcotest.(check bool) "det" false (Serial_history.nondeterministic_pair s1 s2));
+    test "deterministic: stuck at different invocations" (fun () ->
+        let s1 = serial ~stuck:(0, "Dec", u) [] in
+        let s2 = serial ~stuck:(1, "Take", u) [] in
+        Alcotest.(check bool) "det" false (Serial_history.nondeterministic_pair s1 s2));
+    test "set semantics: compare orders entries" (fun () ->
+        let s1 = serial [ 0, "Inc", u, Value.unit ] in
+        let s2 = serial [ 0, "Inc", u, Value.unit ] in
+        Alcotest.(check int) "equal compare" 0 (Serial_history.compare s1 s2);
+        let set = Serial_history.Set.of_list [ s1; s2 ] in
+        Alcotest.(check int) "deduped" 1 (Serial_history.Set.cardinal set));
+  ]
+
+let tests = suite

@@ -1,0 +1,119 @@
+open Helpers
+module Value = Lineup_value.Value
+module Spec = Lineup_spec.Spec
+module Specs = Lineup_spec.Specs
+
+let step_ok spec st i =
+  match spec.Spec.step st i with
+  | Spec.Return (v, st') -> v, st'
+  | Spec.Blocked -> Alcotest.failf "unexpected block on %a" Lineup_history.Invocation.pp i
+
+let blocked spec st i =
+  match spec.Spec.step st i with Spec.Blocked -> true | Spec.Return _ -> false
+
+let run_responses spec invs =
+  Spec.run spec invs |> List.map snd
+
+let suite =
+  [
+    test "counter follows Fig. 3" (fun () ->
+        let c = Specs.counter in
+        let _, st = step_ok c c.Spec.initial (inv "Inc") in
+        let v, st = step_ok c st (inv "Get") in
+        Alcotest.check value "get after inc" (Value.int 1) v;
+        let _, st = step_ok c st (inv_int "Set" 5) in
+        let v, _ = step_ok c st (inv "Get") in
+        Alcotest.check value "get after set" (Value.int 5) v);
+    test "counter dec blocks at zero (Fig. 3)" (fun () ->
+        Alcotest.(check bool) "blocked" true (blocked Specs.counter 0 (inv "Dec"));
+        Alcotest.(check bool) "unblocked" false (blocked Specs.counter 1 (inv "Dec")));
+    test "counter run stops at block" (fun () ->
+        let rs = run_responses Specs.counter [ inv "Inc"; inv "Dec"; inv "Dec"; inv "Get" ] in
+        Alcotest.(check int) "length" 3 (List.length rs);
+        Alcotest.(check bool) "last blocked" true (List.nth rs 2 = None));
+    test "queue is FIFO" (fun () ->
+        let rs =
+          run_responses Specs.queue
+            [ inv_int "Enqueue" 1; inv_int "Enqueue" 2; inv "TryDequeue"; inv "TryDequeue"; inv "TryDequeue" ]
+        in
+        Alcotest.(check (list (option value)))
+          "responses"
+          [ Some Value.unit; Some Value.unit; Some (Value.int 1); Some (Value.int 2); Some Value.Fail ]
+          rs);
+    test "queue Take blocks on empty" (fun () ->
+        Alcotest.(check bool) "blocked" true (blocked Specs.queue [] (inv "Take")));
+    test "queue observers" (fun () ->
+        let st = [ 7; 8 ] in
+        let v, _ = step_ok Specs.queue st (inv "Count") in
+        Alcotest.check value "count" (Value.int 2) v;
+        let v, _ = step_ok Specs.queue st (inv "TryPeek") in
+        Alcotest.check value "peek" (Value.int 7) v;
+        let v, _ = step_ok Specs.queue st (inv "ToArray") in
+        Alcotest.check value "toarray" (Value.list [ Value.int 7; Value.int 8 ]) v;
+        let v, _ = step_ok Specs.queue [] (inv "IsEmpty") in
+        Alcotest.check value "empty" (Value.bool true) v);
+    test "stack is LIFO" (fun () ->
+        let rs =
+          run_responses Specs.stack [ inv_int "Push" 1; inv_int "Push" 2; inv "TryPop"; inv "TryPop" ]
+        in
+        Alcotest.(check (list (option value)))
+          "responses"
+          [ Some Value.unit; Some Value.unit; Some (Value.int 2); Some (Value.int 1) ]
+          rs);
+    test "stack PushRange puts first element on top" (fun () ->
+        let arg = Value.list [ Value.int 8; Value.int 9 ] in
+        let _, st = step_ok Specs.stack [] (inv ~arg "PushRange") in
+        let v, _ = step_ok Specs.stack st (inv "TryPop") in
+        Alcotest.check value "top" (Value.int 8) v);
+    test "stack TryPopRange is a prefix" (fun () ->
+        let v, st = step_ok Specs.stack [ 3; 2; 1 ] (inv_int "TryPopRange" 2) in
+        Alcotest.check value "popped" (Value.list [ Value.int 3; Value.int 2 ]) v;
+        Alcotest.(check (list int)) "rest" [ 1 ] st);
+    test "stack TryPopRange on short stack" (fun () ->
+        let v, st = step_ok Specs.stack [ 1 ] (inv_int "TryPopRange" 3) in
+        Alcotest.check value "popped" (Value.list [ Value.int 1 ]) v;
+        Alcotest.(check (list int)) "rest" [] st);
+    test "semaphore blocks at zero, Release returns previous count" (fun () ->
+        let s = Specs.semaphore ~initial:0 in
+        Alcotest.(check bool) "wait blocked" true (blocked s 0 (inv "Wait"));
+        let v, st = step_ok s 0 (inv "Release") in
+        Alcotest.check value "prev" (Value.int 0) v;
+        Alcotest.(check bool) "wait ok" false (blocked s st (inv "Wait"));
+        let v, _ = step_ok s st (inv_int "ReleaseMany" 2) in
+        Alcotest.check value "prev" (Value.int 1) v);
+    test "semaphore TryWait" (fun () ->
+        let s = Specs.semaphore ~initial:1 in
+        let v, st = step_ok s 1 (inv "TryWait") in
+        Alcotest.check value "took" (Value.bool true) v;
+        let v, _ = step_ok s st (inv "TryWait") in
+        Alcotest.check value "failed" (Value.bool false) v);
+    test "manual reset event" (fun () ->
+        let m = Specs.manual_reset_event ~initial:false in
+        Alcotest.(check bool) "wait blocked" true (blocked m false (inv "Wait"));
+        let _, st = step_ok m false (inv "Set") in
+        Alcotest.(check bool) "wait open" false (blocked m st (inv "Wait"));
+        let _, st = step_ok m st (inv "Reset") in
+        let v, _ = step_ok m st (inv "IsSet") in
+        Alcotest.check value "unset" (Value.bool false) v);
+    test "key_set add/remove/contains" (fun () ->
+        let s = Specs.key_set in
+        let v, st = step_ok s [] (inv_int "Add" 10) in
+        Alcotest.check value "added" (Value.bool true) v;
+        let v, st = step_ok s st (inv_int "Add" 10) in
+        Alcotest.check value "dup" (Value.bool false) v;
+        let v, st = step_ok s st (inv_int "Contains" 10) in
+        Alcotest.check value "contains" (Value.bool true) v;
+        let v, st = step_ok s st (inv_int "Remove" 10) in
+        Alcotest.check value "removed" (Value.bool true) v;
+        let v, _ = step_ok s st (inv "Count") in
+        Alcotest.check value "count" (Value.int 0) v);
+    test "specs reject unknown invocations" (fun () ->
+        List.iter
+          (fun (Spec.Packed s) ->
+            match s.Spec.step s.Spec.initial (inv "Bogus") with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.failf "%s accepted a bogus invocation" s.Spec.name)
+          Specs.all);
+  ]
+
+let tests = suite

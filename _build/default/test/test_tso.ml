@@ -1,0 +1,139 @@
+open Helpers
+module Exec_ctx = Lineup_runtime.Exec_ctx
+module Tso = Lineup_checkers.Tso_monitor
+module Var = Lineup_runtime.Shared_var
+module Conc = Lineup_conc
+open Lineup
+
+let acc ?(volatile = false) tid loc kind =
+  Exec_ctx.Access { tid; loc; loc_name = Fmt.str "loc%d" loc; kind; volatile }
+
+let acq tid lock = Exec_ctx.Lock_acquire { tid; lock; name = Fmt.str "lock%d" lock }
+let rel tid lock = Exec_ctx.Lock_release { tid; lock; name = Fmt.str "lock%d" lock }
+
+(* The Dekker litmus: T0: st x; ld y.  T1: st y; ld x. *)
+let dekker =
+  [
+    acc 0 1 Exec_ctx.Write;
+    acc 1 2 Exec_ctx.Write;
+    acc 0 2 Exec_ctx.Read;
+    acc 1 1 Exec_ctx.Read;
+  ]
+
+(* A register-based Dekker adapter for the end-to-end driver. *)
+let dekker_adapter ~interlocked =
+  let create () =
+    let x = Var.make ~name:"x" 0 in
+    let y = Var.make ~name:"y" 0 in
+    let store v n = if interlocked then ignore (Var.exchange v n) else Var.write v n in
+    let invoke (i : Lineup_history.Invocation.t) =
+      match i.Lineup_history.Invocation.name with
+      | "StoreXLoadY" ->
+        store x 1;
+        Lineup_value.Value.int (Var.read y)
+      | "StoreYLoadX" ->
+        store y 1;
+        Lineup_value.Value.int (Var.read x)
+      | n -> Fmt.invalid_arg "dekker: %s" n
+    in
+    { Adapter.invoke }
+  in
+  Adapter.make ~name:"dekker" ~universe:[ inv "StoreXLoadY"; inv "StoreYLoadX" ] create
+
+let suite =
+  [
+    test "dekker pattern flagged" (fun () ->
+        let reports = Tso.analyze ~threads:2 dekker in
+        Alcotest.(check int) "one" 1 (List.length reports));
+    test "fence between store and load suppresses the window" (fun () ->
+        let log =
+          [
+            acc 0 1 Exec_ctx.Write;
+            acc 0 9 Exec_ctx.Rmw;
+            (* interlocked = fence *)
+            acc 0 2 Exec_ctx.Read;
+            acc 1 2 Exec_ctx.Write;
+            acc 1 1 Exec_ctx.Read;
+          ]
+        in
+        Alcotest.(check int) "none" 0 (List.length (Tso.analyze ~threads:2 log)));
+    test "lock operations are fences" (fun () ->
+        let log =
+          [
+            acc 0 1 Exec_ctx.Write;
+            acq 0 9;
+            rel 0 9;
+            acc 0 2 Exec_ctx.Read;
+            acc 1 2 Exec_ctx.Write;
+            acc 1 1 Exec_ctx.Read;
+          ]
+        in
+        Alcotest.(check int) "none" 0 (List.length (Tso.analyze ~threads:2 log)));
+    test "volatile stores are still bufferable (the .NET volatile gotcha)" (fun () ->
+        let log =
+          [
+            acc ~volatile:true 0 1 Exec_ctx.Write;
+            acc ~volatile:true 0 2 Exec_ctx.Read;
+            acc ~volatile:true 1 2 Exec_ctx.Write;
+            acc ~volatile:true 1 1 Exec_ctx.Read;
+          ]
+        in
+        Alcotest.(check int) "flagged" 1 (List.length (Tso.analyze ~threads:2 log)));
+    test "same location store/load is not a window" (fun () ->
+        let log =
+          [
+            acc 0 1 Exec_ctx.Write;
+            acc 0 1 Exec_ctx.Read;
+            acc 1 1 Exec_ctx.Write;
+            acc 1 1 Exec_ctx.Read;
+          ]
+        in
+        Alcotest.(check int) "none" 0 (List.length (Tso.analyze ~threads:2 log)));
+    test "happens-before-ordered windows are not concurrent" (fun () ->
+        (* T1's window is entirely after T0's via a lock hand-off *)
+        let log =
+          [
+            acc 0 1 Exec_ctx.Write;
+            acc 0 2 Exec_ctx.Read;
+            acq 0 9;
+            rel 0 9;
+            acq 1 9;
+            rel 1 9;
+            acc 1 2 Exec_ctx.Write;
+            acc 1 1 Exec_ctx.Read;
+          ]
+        in
+        Alcotest.(check int) "none" 0 (List.length (Tso.analyze ~threads:2 log)));
+    test "driver flags the racy dekker implementation" (fun () ->
+        let reports =
+          Tso.run
+            ~adapter:(dekker_adapter ~interlocked:false)
+            ~test:(Test_matrix.make [ [ inv "StoreXLoadY" ]; [ inv "StoreYLoadX" ] ])
+            ()
+        in
+        Alcotest.(check bool) "flagged" true (List.length reports > 0));
+    test "driver: interlocked dekker is clean" (fun () ->
+        let reports =
+          Tso.run
+            ~adapter:(dekker_adapter ~interlocked:true)
+            ~test:(Test_matrix.make [ [ inv "StoreXLoadY" ]; [ inv "StoreYLoadX" ] ])
+            ()
+        in
+        Alcotest.(check int) "clean" 0 (List.length reports));
+    test "driver: the studied implementations are clean (§5.7)" (fun () ->
+        (* the correct classes use interlocked operations and locks at all
+           the critical points, exactly as the paper observed *)
+        List.iter
+          (fun (e : Conc.Registry.entry) ->
+            let u = Array.of_list e.adapter.Adapter.universe in
+            let pick i = u.(i mod Array.length u) in
+            let test = Test_matrix.make [ [ pick 0; pick 2 ]; [ pick 1; pick 3 ] ] in
+            let config =
+              { Lineup_scheduler.Explore.default_config with max_executions = Some 200 }
+            in
+            let reports = Tso.run ~config ~adapter:e.adapter ~test () in
+            Alcotest.(check int) (e.adapter.Adapter.name ^ " clean") 0 (List.length reports))
+          (List.filteri (fun i _ -> i < 6) Conc.Registry.correct_entries));
+  ]
+
+let tests = suite

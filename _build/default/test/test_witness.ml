@@ -1,0 +1,136 @@
+open Helpers
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Witness = Lineup_history.Witness
+
+let u = Value.Unit
+
+(* The Counter1 violation of §2.2.1: two completed Incs followed by Get=1. *)
+let counter1_history =
+  history
+    [
+      call 0 0 "Inc" ();
+      call 1 0 "Inc" ();
+      ret 0 0 Value.unit;
+      ret 1 0 Value.unit;
+      call 0 1 "Get" ();
+      ret 0 1 (Value.int 1);
+    ]
+
+(* Serial histories a correct counter can produce for that test. *)
+let counter_specs =
+  [
+    serial [ 0, "Inc", u, Value.unit; 1, "Inc", u, Value.unit; 0, "Get", u, Value.int 2 ];
+    serial [ 1, "Inc", u, Value.unit; 0, "Inc", u, Value.unit; 0, "Get", u, Value.int 2 ];
+    serial [ 0, "Inc", u, Value.unit; 0, "Get", u, Value.int 1; 1, "Inc", u, Value.unit ];
+  ]
+
+let suite =
+  [
+    test "counter1 history has no witness (paper §2.2.1)" (fun () ->
+        Alcotest.(check bool) "not linearizable" false
+          (Witness.linearizable_full ~specs:counter_specs counter1_history));
+    test "fixing the return value gives a witness" (fun () ->
+        let ok_history =
+          history
+            [
+              call 0 0 "Inc" ();
+              call 1 0 "Inc" ();
+              ret 0 0 Value.unit;
+              ret 1 0 Value.unit;
+              call 0 1 "Get" ();
+              ret 0 1 (Value.int 2);
+            ]
+        in
+        Alcotest.(check bool) "linearizable" true
+          (Witness.linearizable_full ~specs:counter_specs ok_history));
+    test "real-time order is respected (condition 3)" (fun () ->
+        (* Get completes strictly before the second Inc starts, so a witness
+           placing Inc before Get is not acceptable. *)
+        let h =
+          history
+            [
+              call 0 0 "Inc" ();
+              ret 0 0 Value.unit;
+              call 0 1 "Get" ();
+              ret 0 1 (Value.int 2);
+              call 1 0 "Inc" ();
+              ret 1 0 Value.unit;
+            ]
+        in
+        Alcotest.(check bool) "no witness" false
+          (Witness.linearizable_full ~specs:counter_specs h));
+    test "overlap allows reordering" (fun () ->
+        (* Get overlaps the second Inc: Get=2 is justified by ordering Inc
+           before it. *)
+        let h =
+          history
+            [
+              call 0 0 "Inc" ();
+              ret 0 0 Value.unit;
+              call 0 1 "Get" ();
+              call 1 0 "Inc" ();
+              ret 1 0 Value.unit;
+              ret 0 1 (Value.int 2);
+            ]
+        in
+        Alcotest.(check bool) "witness" true
+          (Witness.linearizable_full ~specs:counter_specs h));
+    test "witness requires matching responses" (fun () ->
+        let s = serial [ 0, "Get", u, Value.int 0 ] in
+        let h_match = history [ call 0 0 "Get" (); ret 0 0 (Value.int 0) ] in
+        let h_mismatch = history [ call 0 0 "Get" (); ret 0 0 (Value.int 1) ] in
+        Alcotest.(check bool) "match" true (Witness.is_witness ~serial:s h_match);
+        Alcotest.(check bool) "mismatch" false (Witness.is_witness ~serial:s h_mismatch));
+    test "witness requires per-thread order" (fun () ->
+        let s = serial [ 0, "A", u, Value.unit; 0, "B", u, Value.unit ] in
+        let h =
+          history
+            [ call 0 0 "B" (); ret 0 0 Value.unit; call 0 1 "A" (); ret 0 1 Value.unit ]
+        in
+        Alcotest.(check bool) "wrong order" false (Witness.is_witness ~serial:s h));
+    test "stuck witness: justified pending operation" (fun () ->
+        (* H: Inc complete, Dec pending; spec says Dec after nothing blocks
+           — witness (Dec)# with Inc... no: witness must contain Inc. *)
+        let h = history ~stuck:true [ call 0 0 "Dec" () ] in
+        let specs = [ serial ~stuck:(0, "Dec", u) [] ] in
+        Alcotest.(check bool) "justified" true
+          (Result.is_ok (Witness.linearizable_stuck ~specs h)));
+    test "stuck witness: unjustified pending operation" (fun () ->
+        (* Set completed, Wait still pending: no stuck serial history has
+           Wait blocked after Set. *)
+        let h =
+          history ~stuck:true
+            [ call 0 0 "Wait" (); call 1 0 "Set" (); ret 1 0 Value.unit ]
+        in
+        let specs = [ serial ~stuck:(0, "Wait", u) [] ] in
+        match Witness.linearizable_stuck ~specs h with
+        | Error op -> Alcotest.(check int) "pending thread" 0 op.Lineup_history.Op.tid
+        | Ok () -> Alcotest.fail "expected unjustified");
+    test "stuck witness accepts matching completed prefix" (fun () ->
+        let h =
+          history ~stuck:true
+            [ call 1 0 "Set" (); ret 1 0 Value.unit; call 0 0 "Wait" () ]
+        in
+        let specs = [ serial ~stuck:(0, "Wait", u) [ 1, "Set", u, Value.unit ] ] in
+        Alcotest.(check bool) "justified" true
+          (Result.is_ok (Witness.linearizable_stuck ~specs h)));
+    test "multiple pending ops each need justification" (fun () ->
+        let h = history ~stuck:true [ call 0 0 "Wait" (); call 1 0 "Wait" () ] in
+        let specs = [ serial ~stuck:(0, "Wait", u) [] ] in
+        (* thread 1's H[e] has key (1, Wait), not in specs *)
+        match Witness.linearizable_stuck ~specs h with
+        | Error op -> Alcotest.(check int) "thread" 1 op.Lineup_history.Op.tid
+        | Ok () -> Alcotest.fail "expected unjustified");
+    test "find_witness returns the witness" (fun () ->
+        let h =
+          history
+            [ call 0 0 "Inc" (); ret 0 0 Value.unit; call 1 0 "Inc" (); ret 1 0 Value.unit;
+              call 0 1 "Get" (); ret 0 1 (Value.int 2) ]
+        in
+        match Witness.find_witness ~specs:counter_specs h with
+        | Some w -> Alcotest.(check int) "ops" 3 (List.length w.Lineup_history.Serial_history.entries)
+        | None -> Alcotest.fail "expected a witness");
+  ]
+
+let tests = suite

@@ -1,0 +1,54 @@
+open Helpers
+open Lineup
+
+let xml_t = Alcotest.testable (fun ppf x -> Fmt.string ppf (Xml.to_string x)) ( = )
+
+let suite =
+  [
+    test "roundtrip simple element" (fun () ->
+        let x = Xml.Element ("a", [ "k", "v" ], [ Xml.Text "hello" ]) in
+        Alcotest.check xml_t "roundtrip" x (Xml.of_string (Xml.to_string x)));
+    test "roundtrip nested" (fun () ->
+        let x =
+          Xml.Element
+            ( "root",
+              [],
+              [
+                Xml.Element ("child", [ "id", "1"; "name", "Add" ], []);
+                Xml.Element ("child", [ "id", "2" ], [ Xml.Text "1[ ]1" ]);
+              ] )
+        in
+        Alcotest.check xml_t "roundtrip" x (Xml.of_string (Xml.to_string x)));
+    test "escaping in text and attributes" (fun () ->
+        let x = Xml.Element ("a", [ "k", "a<b&\"c\">" ], [ Xml.Text "x<y>&z\"q\"" ]) in
+        Alcotest.check xml_t "roundtrip" x (Xml.of_string (Xml.to_string x)));
+    test "self-closing element" (fun () ->
+        match Xml.of_string "<op id=\"1\"/>" with
+        | Xml.Element ("op", [ ("id", "1") ], []) -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "whitespace between elements is dropped" (fun () ->
+        match Xml.of_string "<a>\n  <b/>\n  <c/>\n</a>" with
+        | Xml.Element ("a", [], [ Xml.Element ("b", _, _); Xml.Element ("c", _, _) ]) -> ()
+        | _ -> Alcotest.fail "unexpected parse");
+    test "mismatched closing tag rejected" (fun () ->
+        match Xml.of_string "<a></b>" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "trailing garbage rejected" (fun () ->
+        match Xml.of_string "<a/>junk" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "unterminated element rejected" (fun () ->
+        match Xml.of_string "<a><b/>" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    test "accessors" (fun () ->
+        let x = Xml.of_string "<a k=\"v\"><b/>text</a>" in
+        Alcotest.(check string) "tag" "a" (Xml.tag x);
+        Alcotest.(check string) "attr" "v" (Xml.attr x "k");
+        Alcotest.(check (option string)) "attr_opt" None (Xml.attr_opt x "missing");
+        Alcotest.(check int) "children" 2 (List.length (Xml.children x));
+        Alcotest.(check string) "text" "text" (Xml.text x));
+  ]
+
+let tests = suite
