@@ -33,7 +33,7 @@ let () =
         "N  run Figure N (1|7|9)" );
       ( "--section",
         Arg.String (select (fun s -> sel.sections <- s :: sel.sections)),
-        "S  run Section S (5.5|5.6|5.7)" );
+        "S  run Section S (5.5|5.6|5.7|parallel)" );
       ( "--ablation",
         Arg.String (select (fun s -> sel.ablations <- s :: sel.ablations)),
         "A  run ablation A (pb|sampling|stress|phase1|icb|dedup)" );
@@ -70,6 +70,7 @@ let () =
   if want_section "5.5" then Sections.s55 opts;
   if want_section "5.6" then Sections.s56 opts;
   if want_section "5.7" then Sections.s57 opts;
+  if want_section "parallel" then Parallel_scaling.run opts;
   if want_ablation "pb" then Ablations.pb_sweep opts;
   if want_ablation "sampling" then Ablations.sampling opts;
   if want_ablation "stress" then Ablations.systematic_vs_stress opts;

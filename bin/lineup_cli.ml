@@ -14,8 +14,24 @@ module Value = Lineup_value.Value
 module Conc = Lineup_conc
 module Checkers = Lineup_checkers
 module Explore = Lineup_scheduler.Explore
+module Pool = Lineup_parallel.Pool
 open Lineup
 open Cmdliner
+
+(* Exit-code contract (the CI gate): 0 — the check completed and found no
+   violation; 1 — a linearizability violation, nondeterministic behavior, or
+   a non-reproducing regression was reported. Cmdliner's own codes (124
+   usage error, 125 internal error) are untouched, so `lineup auto … && …`
+   gates a pipeline exactly on "checked and clean". *)
+let exit_violation = 1
+
+let gate_exits =
+  Cmd.Exit.info 0 ~doc:"if the check completed without reporting a violation."
+  :: Cmd.Exit.info exit_violation
+       ~doc:
+         "if a linearizability violation or nondeterministic behavior was reported — the code \
+          to gate CI pipelines on."
+  :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
 
 let list_entries () =
   Fmt.pr "%-50s %-6s %-22s %s@." "ADAPTER" "VER" "EXPECTED" "DEFECT";
@@ -34,7 +50,7 @@ let list_entries () =
         expected
         (Option.value ~default:"-" e.defect))
     Conc.Registry.all;
-  `Ok ()
+  `Ok 0
 
 let find_adapter name =
   match Conc.Registry.find name with
@@ -76,7 +92,7 @@ let check_cmd_run name columns pb cap classic verbose cache_dir =
     in
     if verbose then Fmt.pr "%s@." (Report.check_result_to_string ~adapter ~test r)
     else Fmt.pr "%s@." (Report.summary r);
-    if Check.passed r then `Ok () else `Error (false, "check failed")
+    if Check.passed r then `Ok 0 else `Ok exit_violation
 
 let random_cmd_run name rows cols samples seed pb cap stop_at_first domains =
   match find_adapter name with
@@ -84,35 +100,33 @@ let random_cmd_run name rows cols samples seed pb cap stop_at_first domains =
   | Ok adapter ->
     let config = config_of ~pb ~cap ~classic:false in
     let report =
-      if domains > 1 then
-        Random_check.run_parallel ~config ~domains ~seed
-          ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter
-      else
-        Random_check.run ~config ~stop_at_first
-          ~rng:(Random.State.make [| seed |])
-          ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter
+      Random_check.run_parallel ~config ~stop_at_first ~domains ~seed
+        ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter
     in
     Fmt.pr "%d tests: %d passed, %d failed@." (List.length report.Random_check.outcomes)
       report.Random_check.passed report.Random_check.failed;
+    Fmt.pr "%a@." Explore.pp_stats report.Random_check.stats;
     (match report.Random_check.first_failure with
      | Some o ->
        Fmt.pr "@.first failing test:@.%s@."
          (Report.check_result_to_string ~adapter ~test:o.Random_check.test o.Random_check.result)
      | None -> ());
-    if report.Random_check.failed = 0 then `Ok () else `Error (false, "violations found")
+    if report.Random_check.failed = 0 then `Ok 0 else `Ok exit_violation
 
-let auto_cmd_run name max_tests pb cap =
+let auto_cmd_run name max_tests pb cap domains =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
-    match Auto_check.run ~config:(config_of ~pb ~cap ~classic:false) ~max_tests adapter with
-    | Auto_check.Failed { test; result; tests_run } ->
-      Fmt.pr "FAIL after %d tests@.%s@." tests_run
+    match
+      Auto_check.run ~config:(config_of ~pb ~cap ~classic:false) ~domains ~max_tests adapter
+    with
+    | Auto_check.Failed { test; result; tests_run; stats } ->
+      Fmt.pr "FAIL after %d tests@.%a@.%s@." tests_run Explore.pp_stats stats
         (Report.check_result_to_string ~adapter ~test result);
-      `Error (false, "violation found")
-    | Auto_check.Budget_exhausted { tests_run } ->
-      Fmt.pr "no violation in %d tests@." tests_run;
-      `Ok ())
+      `Ok exit_violation
+    | Auto_check.Budget_exhausted { tests_run; stats } ->
+      Fmt.pr "no violation in %d tests@.%a@." tests_run Explore.pp_stats stats;
+      `Ok 0)
 
 let observe_cmd_run name columns output =
   match find_adapter name with
@@ -126,7 +140,7 @@ let observe_cmd_run name columns output =
        Observation_file.save ~path r.Check.observation;
        Fmt.pr "wrote %d serial histories to %s@." r.Check.phase1.Check.histories path
      | None -> Fmt.pr "%s@." xml);
-    `Ok ()
+    `Ok 0
 
 let minimize_cmd_run name columns pb =
   match find_adapter name with
@@ -139,23 +153,36 @@ let minimize_cmd_run name columns pb =
       Fmt.pr "minimal failing test (%d checks spent):@.%a@.%s@." r.Minimize.checks_spent
         Test_matrix.pp r.Minimize.test
         (Report.summary r.Minimize.check);
-      `Ok ()
+      `Ok 0
     | exception Invalid_argument msg -> `Error (false, msg))
 
-let compare_cmd_run name columns =
+let compare_cmd_run name columns domains =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
-    let races = Checkers.Race_detector.run ~adapter ~test () in
-    Fmt.pr "data races: %d@." (List.length races);
-    List.iter (fun r -> Fmt.pr "  %a@." Checkers.Race_detector.pp_race r) races;
-    let report = Checkers.Serializability.run ~adapter ~test () in
-    Fmt.pr "conflict-serializability: %d of %d executions violate@."
-      report.Checkers.Serializability.violations report.Checkers.Serializability.executions;
-    let lineup = Check.run adapter test in
-    Fmt.pr "line-up: %s@." (Report.summary lineup);
-    `Ok ()
+    (* The three analyses are independent; fan them out and print their
+       renderings in submission order so -j never reorders the output. *)
+    let tasks : (unit -> string) list =
+      [
+        (fun () ->
+          let races = Checkers.Race_detector.run ~adapter ~test () in
+          Fmt.str "data races: %d@.%a" (List.length races)
+            Fmt.(list ~sep:nop (fun ppf r -> Fmt.pf ppf "  %a@." Checkers.Race_detector.pp_race r))
+            races);
+        (fun () ->
+          let report = Checkers.Serializability.run ~adapter ~test () in
+          Fmt.str "conflict-serializability: %d of %d executions violate@."
+            report.Checkers.Serializability.violations
+            report.Checkers.Serializability.executions);
+        (fun () ->
+          let lineup = Check.run adapter test in
+          Fmt.str "line-up: %s@." (Report.summary lineup));
+      ]
+    in
+    Pool.map_seq ~domains ~f:(fun ~cancelled:_ task -> task ()) (List.to_seq tasks)
+    |> List.iter (Fmt.pr "%s");
+    `Ok 0
 
 (* Repro: run every registered defect's targeted regression test and
    compare against the expected verdict — the §5.1 regression workflow. *)
@@ -208,7 +235,7 @@ let repro_cmd_run which =
           (if ok then "reproduced:" else "NOT REPRODUCED:")
           (Report.summary r))
       selected;
-    if !all_ok then `Ok () else `Error (false, "some defects did not reproduce")
+    if !all_ok then `Ok 0 else `Ok exit_violation
   end
 
 (* ---------------- cmdliner wiring ---------------- *)
@@ -241,6 +268,25 @@ let classic_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report output.")
 
+let domain_count =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "expected a domain count >= 1, got %d" n))
+    | Error _ as e -> e
+  in
+  Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt domain_count (Pool.default_domains ())
+    & info [ "j"; "jobs"; "domains" ] ~docv:"N"
+        ~doc:
+          "Fan independent $(b,Check) jobs out over $(docv) OCaml domains. Reports, verdicts \
+           and exit codes are identical for every value of $(docv) — parallelism only changes \
+           wall-clock time. Defaults to the machine's recommended domain count.")
+
 let cache_dir_arg =
   Arg.(
     value
@@ -254,7 +300,8 @@ let list_cmd =
 
 let check_cmd =
   Cmd.v
-    (Cmd.info "check" ~doc:"Run the two-phase Check(X, m) on an explicit test matrix")
+    (Cmd.info "check" ~exits:gate_exits
+       ~doc:"Run the two-phase Check(X, m) on an explicit test matrix")
     Term.(
       ret
         (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
@@ -266,23 +313,22 @@ let random_cmd =
   let samples = Arg.(value & opt int 100 & info [ "n"; "samples" ] ~doc:"Sample size.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   let stop = Arg.(value & flag & info [ "stop-at-first" ] ~doc:"Stop at the first failure.") in
-  let domains =
-    Arg.(value & opt int 1 & info [ "j"; "domains" ] ~doc:"Distribute the sample over N domains.")
-  in
   Cmd.v
-    (Cmd.info "random" ~doc:"RandomCheck: check a uniform random sample of tests (Fig. 8)")
+    (Cmd.info "random" ~exits:gate_exits
+       ~doc:"RandomCheck: check a uniform random sample of tests (Fig. 8)")
     Term.(
       ret
         (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg $ stop
-         $ domains))
+         $ jobs_arg))
 
 let auto_cmd =
   let max_tests =
     Arg.(value & opt int 1000 & info [ "max-tests" ] ~doc:"Budget of Check invocations.")
   in
   Cmd.v
-    (Cmd.info "auto" ~doc:"AutoCheck: systematic test enumeration (Fig. 6)")
-    Term.(ret (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg))
+    (Cmd.info "auto" ~exits:gate_exits
+       ~doc:"AutoCheck: systematic test enumeration (Fig. 6)")
+    Term.(ret (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ jobs_arg))
 
 let observe_cmd =
   let output =
@@ -301,7 +347,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run the comparison checkers of §5.6 (race detection, serializability) plus Line-Up")
-    Term.(ret (const compare_cmd_run $ name_arg $ columns_arg))
+    Term.(ret (const compare_cmd_run $ name_arg $ columns_arg $ jobs_arg))
 
 let repro_cmd =
   let which =
@@ -311,14 +357,25 @@ let repro_cmd =
       & info [] ~docv:"ID" ~doc:"Root cause id (A, B, ... O); all when omitted.")
   in
   Cmd.v
-    (Cmd.info "repro"
+    (Cmd.info "repro" ~exits:gate_exits
        ~doc:"Reproduce the registered root causes on their minimal regression tests (§5.1)")
     Term.(ret (const repro_cmd_run $ which))
 
 let main =
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "$(b,check), $(b,random), $(b,auto) and $(b,repro) exit with 0 when the check completed \
+         and found no violation, and with 1 when a linearizability violation or nondeterministic \
+         behavior was reported — so any of them can gate a CI pipeline directly. Usage errors \
+         use cmdliner's standard codes (124 command-line error, 125 internal error). The \
+         $(b,-j) flag never changes results or exit codes, only wall-clock time.";
+    ]
+  in
   Cmd.group
-    (Cmd.info "lineup" ~version:"1.0.0"
+    (Cmd.info "lineup" ~version:"1.0.0" ~man
        ~doc:"A complete and automatic linearizability checker (PLDI 2010 reproduction)")
     [ list_cmd; check_cmd; random_cmd; auto_cmd; observe_cmd; minimize_cmd; compare_cmd; repro_cmd ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -1,6 +1,14 @@
+module Explore = Lineup_scheduler.Explore
+module Pool = Lineup_parallel.Pool
+
 type outcome =
-  | Failed of { test : Test_matrix.t; result : Check.result; tests_run : int }
-  | Budget_exhausted of { tests_run : int }
+  | Failed of {
+      test : Test_matrix.t;
+      result : Check.result;
+      tests_run : int;
+      stats : Explore.stats;
+    }
+  | Budget_exhausted of { tests_run : int; stats : Explore.stats }
 
 let take n l =
   let rec go n = function
@@ -10,27 +18,40 @@ let take n l =
   in
   go n l
 
-let run ?config ~max_tests (adapter : Adapter.t) =
-  let tests_run = ref 0 in
-  let result = ref None in
+(* The AutoCheck enumeration of Fig. 6 as a single lazy sequence: for
+   n = 1, 2, 3, … every test in M_{n×n}^{I_n}, with I_n the first n
+   invocations of the adapter's universe. Lazy so that the parallel pool's
+   bounded queue never forces more of the (unbounded) enumeration than the
+   workers are about to consume. *)
+let test_seq (adapter : Adapter.t) =
   let universe_size = List.length adapter.universe in
-  (try
-     let n = ref 1 in
-     while true do
-       let invocations = take (min !n universe_size) adapter.universe in
-       Seq.iter
-         (fun test ->
-           if !tests_run >= max_tests then raise Exit;
-           incr tests_run;
-           let r = Check.run ?config adapter test in
-           if not (Check.passed r) then begin
-             result := Some (Failed { test; result = r; tests_run = !tests_run });
-             raise Exit
-           end)
-         (Test_matrix.enumerate ~invocations ~rows:!n ~cols:!n);
-       incr n
-     done
-   with Exit -> ());
-  match !result with
-  | Some r -> r
-  | None -> Budget_exhausted { tests_run = !tests_run }
+  let level n =
+    Test_matrix.enumerate
+      ~invocations:(take (min n universe_size) adapter.universe)
+      ~rows:n ~cols:n
+  in
+  let rec levels n () = Seq.Cons (level n, levels (n + 1)) in
+  Seq.concat (levels 1)
+
+let result_stats (r : Check.result) =
+  match r.Check.phase2 with
+  | None -> r.Check.phase1.Check.stats
+  | Some p2 -> Explore.merge_stats r.Check.phase1.Check.stats p2.Check.stats
+
+let run ?config ?(domains = 1) ~max_tests adapter =
+  let results =
+    Pool.map_seq ~domains
+      ~stop:(fun (_, r) -> not (Check.passed r))
+      ~f:(fun ~cancelled test -> (test, Check.run ?config ~cancelled adapter test))
+      (Seq.take max_tests (test_seq adapter))
+  in
+  let tests_run = List.length results in
+  let stats =
+    List.fold_left
+      (fun acc (_, r) -> Explore.merge_stats acc (result_stats r))
+      Explore.empty_stats results
+  in
+  match List.rev results with
+  | (test, result) :: _ when not (Check.passed result) ->
+    Failed { test; result; tests_run; stats }
+  | _ -> Budget_exhausted { tests_run; stats }

@@ -7,9 +7,28 @@
     does not terminate, so a budget of tests must be supplied. *)
 
 type outcome =
-  | Failed of { test : Test_matrix.t; result : Check.result; tests_run : int }
-  | Budget_exhausted of { tests_run : int }
+  | Failed of {
+      test : Test_matrix.t;
+      result : Check.result;
+      tests_run : int;
+          (** 1-based position of [test] in the enumeration — identical for
+              every [domains] value *)
+      stats : Lineup_scheduler.Explore.stats;
+          (** both phases of every counted [Check], merged *)
+    }
+  | Budget_exhausted of { tests_run : int; stats : Lineup_scheduler.Explore.stats }
 
-(** [run ?config ~max_tests adapter] executes the AutoCheck loop until a
-    violation is found or [max_tests] Check invocations have been spent. *)
-val run : ?config:Check.config -> max_tests:int -> Adapter.t -> outcome
+(** [run ?config ?domains ~max_tests adapter] executes the AutoCheck loop
+    until a violation is found or [max_tests] Check invocations have been
+    spent.
+
+    [domains] (default [1]) fans the independent [Check(X, m)] jobs out
+    across that many OCaml domains through {!Lineup_parallel.Pool}: the
+    test enumeration is still pulled lazily, a violation found by any
+    worker cancels in-flight {e later} jobs at their next execution
+    boundary, and the reported failure is the {e first} failing test in
+    enumeration order — so the outcome (test, verdict, [tests_run], merged
+    [stats]) is identical to a sequential run. Parallel partitioning does
+    not affect the completeness guarantee of §4.3: each job is a whole
+    [Check(X, m)]; the schedule space of a single test is never split. *)
+val run : ?config:Check.config -> ?domains:int -> max_tests:int -> Adapter.t -> outcome

@@ -73,13 +73,17 @@ let exception_of (outcome : Explore.exec_outcome) =
 
 let now () = Unix.gettimeofday ()
 
+let never_cancelled () = false
+
 (* Phase 1: enumerate serial executions, synthesize the specification. *)
-let synthesize ?(config = default_config) adapter test =
+let synthesize ?(config = default_config) ?(cancelled = never_cancelled) adapter test =
   let observation = Observation.create () in
   let p1_start = now () in
   let p1_violation = ref None in
   let p1_stats =
     Harness.run_phase config.phase1 ~adapter ~test ~on_history:(fun r ->
+        if cancelled () then `Stop
+        else
         match exception_of r.outcome with
         | Some v ->
           p1_violation := Some v;
@@ -109,25 +113,13 @@ let synthesize ?(config = default_config) adapter test =
   | Some v -> Error (v, phase1)
   | None -> Ok (observation, phase1)
 
-let empty_stats =
-  {
-    Explore.executions = 0;
-    total_steps = 0;
-    deadlocks = 0;
-    divergences = 0;
-    serial_stucks = 0;
-    max_depth = 0;
-    pruned_choices = 0;
-    complete = true;
-  }
-
-let run ?(config = default_config) ?observation adapter test =
+let run ?(config = default_config) ?(cancelled = never_cancelled) ?observation adapter test =
   let phase1_result =
     match observation with
     | Some obs ->
       let histories = Observation.num_full obs + Observation.num_stuck obs in
-      Ok (obs, { stats = empty_stats; histories; time = 0.0 })
-    | None -> synthesize ~config adapter test
+      Ok (obs, { stats = Explore.empty_stats; histories; time = 0.0 })
+    | None -> synthesize ~config ~cancelled adapter test
   in
   match phase1_result with
   | Error (v, phase1) ->
@@ -144,6 +136,8 @@ let run ?(config = default_config) ?observation adapter test =
     let seen : (Lineup_history.Event.t list * bool, unit) Hashtbl.t = Hashtbl.create 256 in
     let p2_stats =
       Harness.run_phase config.phase2 ~adapter ~test ~on_history:(fun r ->
+          if cancelled () then `Stop
+          else
           match exception_of r.outcome with
           | Some v ->
             p2_violation := Some v;

@@ -75,13 +75,27 @@ val pp_violation : Format.formatter -> violation -> unit
     violation (nondeterminism, or an operation exception). *)
 val synthesize :
   ?config:config ->
+  ?cancelled:(unit -> bool) ->
   Adapter.t ->
   Test_matrix.t ->
   (Observation.t * phase_report, violation * phase_report) Stdlib.result
 
-(** [run ?config ?observation adapter test] — the paper's [Check(X, m)].
-    When [observation] is supplied (e.g. loaded from an observation file of
-    a previous run — §4.1: "the set of observed serial histories Z is
-    recorded in a file"), phase 1 is skipped and the given set is used as
-    the specification. *)
-val run : ?config:config -> ?observation:Observation.t -> Adapter.t -> Test_matrix.t -> result
+(** [run ?config ?cancelled ?observation adapter test] — the paper's
+    [Check(X, m)]. When [observation] is supplied (e.g. loaded from an
+    observation file of a previous run — §4.1: "the set of observed serial
+    histories Z is recorded in a file"), phase 1 is skipped and the given
+    set is used as the specification.
+
+    [cancelled] (default: never) is polled at every execution boundary of
+    both phases; once it returns [true] the exploration is abandoned at the
+    next boundary. A cancelled run returns a {e partial} result whose
+    verdict may be [Ok ()] despite undetected violations — it is meant for
+    the parallel work pool, which discards the results of cancelled
+    siblings, never for a verdict anyone relies on. *)
+val run :
+  ?config:config ->
+  ?cancelled:(unit -> bool) ->
+  ?observation:Observation.t ->
+  Adapter.t ->
+  Test_matrix.t ->
+  result

@@ -1,3 +1,6 @@
+module Explore = Lineup_scheduler.Explore
+module Pool = Lineup_parallel.Pool
+
 type test_outcome = {
   test : Test_matrix.t;
   result : Check.result;
@@ -8,33 +11,38 @@ type report = {
   passed : int;
   failed : int;
   first_failure : test_outcome option;
+  stats : Explore.stats;
 }
+
+let result_stats (r : Check.result) =
+  match r.Check.phase2 with
+  | None -> r.Check.phase1.Check.stats
+  | Some p2 -> Explore.merge_stats r.Check.phase1.Check.stats p2.Check.stats
+
+let report_of_outcomes outcomes =
+  let failing o = not (Check.passed o.result) in
+  {
+    outcomes;
+    passed = List.length (List.filter (fun o -> not (failing o)) outcomes);
+    failed = List.length (List.filter failing outcomes);
+    first_failure = List.find_opt failing outcomes;
+    stats =
+      List.fold_left
+        (fun acc o -> Explore.merge_stats acc (result_stats o.result))
+        Explore.empty_stats outcomes;
+  }
 
 let run_custom ?config ?(stop_at_first = false) ~gen ~samples adapter =
   let outcomes = ref [] in
-  let passed = ref 0 in
-  let failed = ref 0 in
-  let first_failure = ref None in
   (try
      for _ = 1 to samples do
        let test = gen () in
        let result = Check.run ?config adapter test in
-       let outcome = { test; result } in
-       outcomes := outcome :: !outcomes;
-       if Check.passed result then incr passed
-       else begin
-         incr failed;
-         if Option.is_none !first_failure then first_failure := Some outcome;
-         if stop_at_first then raise Exit
-       end
+       outcomes := { test; result } :: !outcomes;
+       if (not (Check.passed result)) && stop_at_first then raise Exit
      done
    with Exit -> ());
-  {
-    outcomes = List.rev !outcomes;
-    passed = !passed;
-    failed = !failed;
-    first_failure = !first_failure;
-  }
+  report_of_outcomes (List.rev !outcomes)
 
 let run ?config ?stop_at_first ?(init = []) ?(final = []) ~rng ~invocations ~rows ~cols ~samples
     adapter =
@@ -46,25 +54,19 @@ let run_seqs ?config ?stop_at_first ?(init = []) ?(final = []) ~rng ~sequences ~
   let gen () = Test_matrix.random_seqs ~init ~final ~rng ~sequences ~rows ~cols () in
   run_custom ?config ?stop_at_first ~gen ~samples adapter
 
-let merge reports =
-  let outcomes = List.concat_map (fun r -> r.outcomes) reports in
-  {
-    outcomes;
-    passed = List.fold_left (fun acc r -> acc + r.passed) 0 reports;
-    failed = List.fold_left (fun acc r -> acc + r.failed) 0 reports;
-    first_failure =
-      List.find_opt (fun o -> not (Check.passed o.result)) outcomes;
-  }
-
-let run_parallel ?config ?(init = []) ?(final = []) ~domains ~seed ~invocations ~rows ~cols
-    ~samples adapter =
+let run_parallel ?config ?(stop_at_first = false) ?(init = []) ?(final = []) ~domains ~seed
+    ~invocations ~rows ~cols ~samples adapter =
   if domains < 1 then invalid_arg "Random_check.run_parallel: domains must be >= 1";
-  let per = samples / domains and extra = samples mod domains in
-  let worker i () =
-    let n = per + if i < extra then 1 else 0 in
-    let rng = Random.State.make [| seed; i |] in
-    run ?config ~init ~final ~rng ~invocations ~rows ~cols ~samples:n adapter
+  let outcomes =
+    Pool.map_seq ~domains
+      ~stop:(fun o -> stop_at_first && not (Check.passed o.result))
+      ~f:(fun ~cancelled i ->
+        (* Sample i draws from its own PRNG stream derived from (seed, i),
+           so the sample set is a function of the seed alone — the domain
+           count affects wall-clock time and nothing else. *)
+        let rng = Random.State.make [| seed; i |] in
+        let test = Test_matrix.random ~init ~final ~rng ~invocations ~rows ~cols () in
+        { test; result = Check.run ?config ~cancelled adapter test })
+      (Seq.init samples Fun.id)
   in
-  let spawned = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
-  let mine = worker 0 () in
-  merge (mine :: List.map Domain.join spawned)
+  report_of_outcomes outcomes

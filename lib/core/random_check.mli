@@ -16,6 +16,8 @@ type report = {
   passed : int;
   failed : int;
   first_failure : test_outcome option;
+  stats : Lineup_scheduler.Explore.stats;
+      (** both phases of every outcome's [Check], merged in sample order *)
 }
 
 (** [run ?config ?stop_at_first ~rng ~invocations ~rows ~cols ~samples
@@ -60,13 +62,23 @@ val run_seqs :
   Adapter.t ->
   report
 
-(** [run_parallel ~domains ~seed ...] splits the sample across [domains]
-    OCaml domains — §4.3: random sampling "is embarrassingly parallel: it is
-    very easy to distribute the various tests and let each core run Check
-    independently". Deterministic for a given (seed, domains) pair; per-
-    execution state is domain-local, so explorations do not interfere. *)
+(** [run_parallel ~domains ~seed ...] fans the sample out across [domains]
+    OCaml domains through {!Lineup_parallel.Pool} — §4.3: random sampling
+    "is embarrassingly parallel: it is very easy to distribute the various
+    tests and let each core run Check independently".
+
+    Sample [i] is generated from its own PRNG stream derived from
+    [(seed, i)], and results are reported in sample order, so the report
+    (outcomes, verdicts, first failure, merged stats) is a function of
+    [seed] alone: [~domains:8] returns exactly what [~domains:1] returns,
+    only faster. With [stop_at_first] (default [false]), the first failing
+    sample cancels later in-flight samples at their next execution boundary
+    and the report is the deterministic prefix ending at that failure.
+    Per-execution state is domain-local, so explorations do not
+    interfere. *)
 val run_parallel :
   ?config:Check.config ->
+  ?stop_at_first:bool ->
   ?init:Lineup_history.Invocation.t list ->
   ?final:Lineup_history.Invocation.t list ->
   domains:int ->

@@ -25,7 +25,8 @@ let summary (r : Check.result) =
   | Error (Check.Stuck_unjustified _) -> "FAIL: unjustified blocking (stuck history)"
   | Error (Check.Thread_exception _) -> "FAIL: operation raised an exception"
 
-let pp_check_result ppf ~(adapter : Adapter.t) ~test (r : Check.result) =
+let pp_check_result ?(times = false) ppf ~(adapter : Adapter.t) ~test (r : Check.result) =
+  let pp_time ppf t = if times then Fmt.pf ppf " in %.3fs" t in
   Fmt.pf ppf "@[<v>Line-Up check of %s@,@,Test:@,%a@,@," adapter.name Test_matrix.pp test;
   (match r.verdict with
    | Ok () -> Fmt.pf ppf "Verdict: %s@," (summary r)
@@ -45,14 +46,14 @@ let pp_check_result ppf ~(adapter : Adapter.t) ~test (r : Check.result) =
        Op.pp op pp_history_section h
    | Error (Check.Thread_exception { tid; message }) ->
      Fmt.pf ppf "Operation on thread %d raised: %s@," tid message);
-  Fmt.pf ppf "@,Phase 1: %d serial histories in %.3fs (%a)@," r.phase1.histories r.phase1.time
+  Fmt.pf ppf "@,Phase 1: %d serial histories%a (%a)@," r.phase1.histories pp_time r.phase1.time
     Explore.pp_stats r.phase1.stats;
   (match r.phase2 with
    | Some p ->
-     Fmt.pf ppf "Phase 2: %d concurrent histories in %.3fs (%a)@," p.histories p.time
+     Fmt.pf ppf "Phase 2: %d concurrent histories%a (%a)@," p.histories pp_time p.time
        Explore.pp_stats p.stats
    | None -> Fmt.pf ppf "Phase 2: not run (phase 1 failed)@,");
   Fmt.pf ppf "@]"
 
-let check_result_to_string ~adapter ~test r =
-  Fmt.str "%a" (fun ppf () -> pp_check_result ppf ~adapter ~test r) ()
+let check_result_to_string ?times ~adapter ~test r =
+  Fmt.str "%a" (fun ppf () -> pp_check_result ?times ppf ~adapter ~test r) ()

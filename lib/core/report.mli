@@ -5,10 +5,20 @@
     interleaving — enough to understand the misbehavior without any
     knowledge of the implementation. *)
 
+(** [times] (default [false]) includes the wall-clock phase durations in
+    the rendering. Off by default so the report of a given result is
+    byte-for-byte reproducible — across runs and across [-j] values — which
+    is what the parallel-determinism tests and CI gates compare. *)
 val pp_check_result :
-  Format.formatter -> adapter:Adapter.t -> test:Test_matrix.t -> Check.result -> unit
+  ?times:bool ->
+  Format.formatter ->
+  adapter:Adapter.t ->
+  test:Test_matrix.t ->
+  Check.result ->
+  unit
 
-val check_result_to_string : adapter:Adapter.t -> test:Test_matrix.t -> Check.result -> string
+val check_result_to_string :
+  ?times:bool -> adapter:Adapter.t -> test:Test_matrix.t -> Check.result -> string
 
 (** One-line verdict, e.g. ["PASS (1680 serial histories, 3120 executions)"]
     or ["FAIL: non-linearizable history"]. *)

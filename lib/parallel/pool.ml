@@ -1,0 +1,131 @@
+type cancelled = unit -> bool
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* ---------------- sequential fallback (domains <= 1) ---------------- *)
+
+let never_cancelled () = false
+
+let map_sequential ~stop ~f jobs =
+  let rec go acc seq =
+    match seq () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons (x, rest) ->
+      let r = f ~cancelled:never_cancelled x in
+      if stop r then List.rev (r :: acc) else go (r :: acc) rest
+  in
+  go [] jobs
+
+(* ---------------- parallel pool ---------------- *)
+
+(* Shared state. The bounded queue and [closed] are protected by [mutex];
+   [stop_at] is the earliest submission index whose result satisfied [stop]
+   (or raised), [max_int] while none has. It only ever decreases, which is
+   what makes the output deterministic: a job with index <= the final
+   [stop_at] can never observe [cancelled () = true] (that would require
+   [stop_at] to have been below its index, contradicting monotonicity), so
+   every result the caller sees was computed exactly as a sequential run
+   would have computed it. *)
+type ('a, 'b) state = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;  (* an item was queued, or the queue was closed *)
+  not_full : Condition.t;  (* an item was taken, or [stop_at] dropped *)
+  queue : (int * 'a) Queue.t;
+  depth : int;
+  mutable closed : bool;
+  stop_at : int Atomic.t;
+}
+
+let lower_stop_at st i =
+  let rec cas () =
+    let cur = Atomic.get st.stop_at in
+    if i < cur && not (Atomic.compare_and_set st.stop_at cur i) then cas ()
+  in
+  cas ();
+  (* The feeder may be blocked on a full queue; it must wake to notice the
+     stop and close the queue. *)
+  Mutex.lock st.mutex;
+  Condition.broadcast st.not_full;
+  Mutex.unlock st.mutex
+
+(* The feeder runs on the calling domain: pull the (lazy) job sequence one
+   element at a time, never holding more than [depth] unclaimed jobs. *)
+let feed st jobs =
+  let rec go i seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons (x, rest) ->
+      Mutex.lock st.mutex;
+      while Queue.length st.queue >= st.depth && Atomic.get st.stop_at >= i do
+        Condition.wait st.not_full st.mutex
+      done;
+      let stopped = Atomic.get st.stop_at < i in
+      if not stopped then begin
+        Queue.add (i, x) st.queue;
+        Condition.signal st.not_empty
+      end;
+      Mutex.unlock st.mutex;
+      if not stopped then go (i + 1) rest
+  in
+  go 0 jobs;
+  Mutex.lock st.mutex;
+  st.closed <- true;
+  Condition.broadcast st.not_empty;
+  Mutex.unlock st.mutex
+
+let worker st ~stop ~f () =
+  let results = ref [] in
+  let rec loop () =
+    Mutex.lock st.mutex;
+    while Queue.is_empty st.queue && not st.closed do
+      Condition.wait st.not_empty st.mutex
+    done;
+    match Queue.take_opt st.queue with
+    | None -> Mutex.unlock st.mutex (* closed and drained: done *)
+    | Some (i, x) ->
+      Condition.signal st.not_full;
+      Mutex.unlock st.mutex;
+      (* Jobs past a stopping index are skipped outright; their results
+         would be discarded anyway. *)
+      if Atomic.get st.stop_at >= i then begin
+        match f ~cancelled:(fun () -> Atomic.get st.stop_at < i) x with
+        | r ->
+          results := (i, Ok r) :: !results;
+          if stop r then lower_stop_at st i
+        | exception e ->
+          results := (i, Error e) :: !results;
+          lower_stop_at st i
+      end;
+      loop ()
+  in
+  loop ();
+  !results
+
+let map_parallel ~domains ~depth ~stop ~f jobs =
+  let st =
+    {
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      depth;
+      closed = false;
+      stop_at = Atomic.make max_int;
+    }
+  in
+  let workers = List.init domains (fun _ -> Domain.spawn (worker st ~stop ~f)) in
+  feed st jobs;
+  let all = List.concat_map Domain.join workers in
+  let cut = Atomic.get st.stop_at in
+  List.sort (fun (i, _) (j, _) -> Int.compare i j) all
+  |> List.filter_map (fun (i, r) ->
+         if i > cut then None
+         else match r with Ok v -> Some v | Error e -> raise e)
+
+let map_seq ?(domains = 1) ?queue_depth ?(stop = fun _ -> false) ~f jobs =
+  if domains <= 1 then map_sequential ~stop ~f jobs
+  else
+    let depth =
+      match queue_depth with Some d -> max 1 d | None -> 2 * domains
+    in
+    map_parallel ~domains ~depth ~stop ~f jobs

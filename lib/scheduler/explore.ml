@@ -47,6 +47,30 @@ let pp_stats ppf s =
     s.pruned_choices
     (if s.complete then "(exhaustive)" else "(budget-cut)")
 
+let empty_stats =
+  {
+    executions = 0;
+    total_steps = 0;
+    deadlocks = 0;
+    divergences = 0;
+    serial_stucks = 0;
+    max_depth = 0;
+    pruned_choices = 0;
+    complete = true;
+  }
+
+let merge_stats a b =
+  {
+    executions = a.executions + b.executions;
+    total_steps = a.total_steps + b.total_steps;
+    deadlocks = a.deadlocks + b.deadlocks;
+    divergences = a.divergences + b.divergences;
+    serial_stucks = a.serial_stucks + b.serial_stucks;
+    max_depth = max a.max_depth b.max_depth;
+    pruned_choices = a.pruned_choices + b.pruned_choices;
+    complete = a.complete && b.complete;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Decision traces                                                     *)
 (* ------------------------------------------------------------------ *)

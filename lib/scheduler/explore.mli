@@ -78,6 +78,17 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+val empty_stats : stats
+(** The neutral element of {!merge_stats}: all counters zero,
+    [complete = true]. *)
+
+val merge_stats : stats -> stats -> stats
+(** Componentwise merge of the statistics of two independent explorations:
+    counters add, [max_depth] takes the maximum, [complete] is the
+    conjunction. Associative and commutative with {!empty_stats} as the
+    unit, so a fold over per-worker statistics is order-independent — the
+    parallel checker relies on this to report deterministic aggregates. *)
+
 (** [explore cfg ~setup ~on_execution] enumerates schedules depth-first.
     [setup] is run before each execution (with effects serviced inline, see
     {!Lineup_runtime.Rt.run_inline}) and returns the thread bodies.

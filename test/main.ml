@@ -16,6 +16,7 @@ let () =
       "check", Test_check.tests;
       "collections", Test_collections.tests;
       "random-auto", Test_random_auto.tests;
+      "parallel", Test_parallel.tests;
       "extensions", Test_extensions.tests;
       "checkers", Test_checkers.tests;
       "tso", Test_tso.tests;

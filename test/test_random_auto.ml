@@ -74,7 +74,8 @@ let suite =
         | Auto_check.Budget_exhausted _ -> Alcotest.fail "expected a failure");
     test "auto_check exhausts budget on a correct implementation" (fun () ->
         match Auto_check.run ~max_tests:10 Conc.Counters.correct with
-        | Auto_check.Budget_exhausted { tests_run } -> Alcotest.(check int) "ran" 10 tests_run
+        | Auto_check.Budget_exhausted { tests_run; _ } ->
+          Alcotest.(check int) "ran" 10 tests_run
         | Auto_check.Failed _ -> Alcotest.fail "correct implementation failed");
     test "lemma 8: a failing test still fails as a prefix of a larger test" (fun () ->
         let small = Test_matrix.make [ [ inv "Release" ]; [ inv "Release" ] ] in
