@@ -232,4 +232,31 @@ let dedup opts =
     [ true; false ];
   Fmt.pr
     "@.Schedules frequently replay identical histories; checking each distinct history once \
-     is sound (the verdict is a function of the history) and much cheaper.@."
+     is sound (the verdict is a function of the history) and much cheaper.@.";
+  (* Metrics-derived dedup hit rate per class: phase-2 histories that were
+     skipped because an identical one had already been checked, as a share
+     of all histories seen. The counters come straight from the
+     observability layer, so the same numbers appear in any --metrics
+     summary. *)
+  Fmt.pr "@.dedup hit rate by class (one random %dx%d test each, cap %d):@.@." 3 3 cap;
+  Fmt.pr "%-50s %9s %9s %9s@." "Class" "distinct" "dup hits" "hit rate";
+  Fmt.pr "%s@." (String.make 80 '-');
+  List.iter
+    (fun name ->
+      let e = Conc.Registry.find name in
+      let rng = Random.State.make [| opts.seed |] in
+      let test =
+        Test_matrix.random ~rng ~invocations:e.adapter.Adapter.universe ~rows:3 ~cols:3 ()
+      in
+      let m = Metrics.create () in
+      let config = Check.config_with ~max_executions:(Some cap) () in
+      ignore (Check.run ~config ~metrics:m e.adapter test);
+      (match bench_metrics () with
+       | Some agg -> Metrics.merge_into ~into:agg m
+       | None -> ());
+      let distinct = Metrics.get m "check.phase2.histories_distinct" in
+      let hits = Metrics.get m "check.phase2.dedup_hits" in
+      let total = distinct + hits in
+      Fmt.pr "%-50s %9d %9d %8.1f%%@." name distinct hits
+        (if total = 0 then 0.0 else 100.0 *. float hits /. float total))
+    [ "Counter"; "ConcurrentQueue"; "ConcurrentStack"; "ConcurrentBag"; "SemaphoreSlim" ]

@@ -4,7 +4,24 @@ module H = Lineup_history
 module Value = Lineup_value.Value
 module Conc = Lineup_conc
 module Explore = Lineup_scheduler.Explore
+module Metrics = Lineup_observe.Metrics
 open Lineup
+
+(* Structured counters for the whole bench run (--metrics FILE). Collection
+   is deterministic (see Lineup_observe.Metrics); the registry aggregates
+   across every artifact that ran, so a sweep's metrics are the sums of its
+   parts. [bench_metrics ()] is what artifact runners thread into the
+   checker entry points — [None] unless --metrics was given. *)
+let metrics_out : string option ref = ref None
+let metrics_registry = Metrics.create ()
+let bench_metrics () = if !metrics_out = None then None else Some metrics_registry
+
+let write_metrics () =
+  match !metrics_out with
+  | None -> ()
+  | Some path ->
+    Metrics.write_file metrics_registry ~path;
+    Fmt.pr "[bench] wrote metrics summary to %s@." path
 
 type options = {
   samples : int;  (* RandomCheck sample size per class (paper: 100) *)

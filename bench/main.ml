@@ -53,6 +53,9 @@ let () =
       ( "--paper",
         Arg.Unit (fun () -> opts := paper_options),
         "  paper-scale parameters (100 samples, 50k cap — slow)" );
+      ( "--metrics",
+        Arg.String (fun f -> metrics_out := Some f),
+        "FILE  write the aggregated JSON metrics summary to FILE" );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "lineup benchmarks";
@@ -78,4 +81,5 @@ let () =
   if want_ablation "icb" then Ablations.icb opts;
   if want_ablation "dedup" then Ablations.dedup opts;
   if sel.all || sel.bechamel then Bechamel_bench.run ();
+  write_metrics ();
   Fmt.pr "@.[bench] total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

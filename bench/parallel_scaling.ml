@@ -43,7 +43,7 @@ let run opts =
   let sample j =
     let t0 = Unix.gettimeofday () in
     let report =
-      Random_check.run_parallel ~config ~domains:j ~seed:opts.seed
+      Random_check.run_parallel ~config ?metrics:(bench_metrics ()) ~domains:j ~seed:opts.seed
         ~invocations:adapter.Adapter.universe ~rows:opts.rows ~cols:opts.cols ~samples adapter
     in
     report, Unix.gettimeofday () -. t0

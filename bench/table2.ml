@@ -33,7 +33,7 @@ let avg_opt = function [] -> None | l -> Some (average l)
 let run_row opts (e : Conc.Registry.entry) =
   let rng = Random.State.make [| opts.seed |] in
   let report =
-    Random_check.run ~config:(check_config opts) ~rng
+    Random_check.run ~config:(check_config opts) ?metrics:(bench_metrics ()) ~rng
       ~invocations:e.adapter.Adapter.universe ~rows:opts.rows ~cols:opts.cols
       ~samples:opts.samples e.adapter
   in

@@ -15,8 +15,23 @@ module Conc = Lineup_conc
 module Checkers = Lineup_checkers
 module Explore = Lineup_scheduler.Explore
 module Pool = Lineup_parallel.Pool
+module Metrics = Lineup_observe.Metrics
+module Trace = Lineup_observe.Trace
 open Lineup
 open Cmdliner
+
+(* --metrics / --trace plumbing. [f] receives the metrics registry option
+   to thread into the checker entry points; the summary is written after
+   [f] returns and the trace sink is closed even on exceptions. Neither
+   flag changes anything printed to stdout. *)
+let with_observability ~metrics_file ~trace_file f =
+  let metrics = Option.map (fun (_ : string) -> Metrics.create ()) metrics_file in
+  Trace.with_trace ~path:trace_file (fun () ->
+      let result = f metrics in
+      (match metrics_file, metrics with
+       | Some path, Some m -> Metrics.write_file m ~path
+       | _ -> ());
+      result)
 
 (* Exit-code contract (the CI gate): 0 — the check completed and found no
    violation; 1 — a linearizability violation, nondeterministic behavior, or
@@ -79,29 +94,32 @@ let parse_column s =
 let config_of ~pb ~cap ~classic =
   Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic ()
 
-let check_cmd_run name columns pb cap classic verbose cache_dir =
+let check_cmd_run name columns pb cap classic verbose cache_dir metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
     let config = config_of ~pb ~cap ~classic in
     let r =
-      match cache_dir with
-      | Some dir -> Obs_cache.check ~config ~dir adapter test
-      | None -> Check.run ~config adapter test
+      with_observability ~metrics_file ~trace_file (fun metrics ->
+          match cache_dir with
+          | Some dir -> Obs_cache.check ~config ?metrics ~dir adapter test
+          | None -> Check.run ~config ?metrics adapter test)
     in
     if verbose then Fmt.pr "%s@." (Report.check_result_to_string ~adapter ~test r)
     else Fmt.pr "%s@." (Report.summary r);
     if Check.passed r then `Ok 0 else `Ok exit_violation
 
-let random_cmd_run name rows cols samples seed pb cap stop_at_first domains =
+let random_cmd_run name rows cols samples seed pb cap stop_at_first domains metrics_file
+    trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let config = config_of ~pb ~cap ~classic:false in
     let report =
-      Random_check.run_parallel ~config ~stop_at_first ~domains ~seed
-        ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter
+      with_observability ~metrics_file ~trace_file (fun metrics ->
+          Random_check.run_parallel ~config ~stop_at_first ?metrics ~domains ~seed
+            ~invocations:adapter.Adapter.universe ~rows ~cols ~samples adapter)
     in
     Fmt.pr "%d tests: %d passed, %d failed@." (List.length report.Random_check.outcomes)
       report.Random_check.passed report.Random_check.failed;
@@ -113,12 +131,15 @@ let random_cmd_run name rows cols samples seed pb cap stop_at_first domains =
      | None -> ());
     if report.Random_check.failed = 0 then `Ok 0 else `Ok exit_violation
 
-let auto_cmd_run name max_tests pb cap domains =
+let auto_cmd_run name max_tests pb cap domains metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     match
-      Auto_check.run ~config:(config_of ~pb ~cap ~classic:false) ~domains ~max_tests adapter
+      with_observability ~metrics_file ~trace_file (fun metrics ->
+          Auto_check.run
+            ~config:(config_of ~pb ~cap ~classic:false)
+            ~domains ?metrics ~max_tests adapter)
     with
     | Auto_check.Failed { test; result; tests_run; stats } ->
       Fmt.pr "FAIL after %d tests@.%a@.%s@." tests_run Explore.pp_stats stats
@@ -287,6 +308,26 @@ let jobs_arg =
            and exit codes are identical for every value of $(docv) — parallelism only changes \
            wall-clock time. Defaults to the machine's recommended domain count.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON summary of structured counters (executions, steps, dedup hit rate, \
+           cache hits, ...) to $(docv). The summary is deterministic: byte-identical for every \
+           $(b,-j) value and across repeated runs. See README.md for the schema.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Append one NDJSON event per line to $(docv) (per-execution outcomes, per-phase \
+           timings, pool scheduling). Unlike $(b,--metrics), the trace carries wall-clock \
+           timestamps and interleaves in completion order — it is explicitly non-deterministic.")
+
 let cache_dir_arg =
   Arg.(
     value
@@ -305,7 +346,7 @@ let check_cmd =
     Term.(
       ret
         (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
-         $ verbose_arg $ cache_dir_arg))
+         $ verbose_arg $ cache_dir_arg $ metrics_arg $ trace_arg))
 
 let random_cmd =
   let rows = Arg.(value & opt int 3 & info [ "rows" ] ~doc:"Operations per thread.") in
@@ -319,7 +360,7 @@ let random_cmd =
     Term.(
       ret
         (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg $ stop
-         $ jobs_arg))
+         $ jobs_arg $ metrics_arg $ trace_arg))
 
 let auto_cmd =
   let max_tests =
@@ -328,7 +369,10 @@ let auto_cmd =
   Cmd.v
     (Cmd.info "auto" ~exits:gate_exits
        ~doc:"AutoCheck: systematic test enumeration (Fig. 6)")
-    Term.(ret (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ jobs_arg))
+    Term.(
+      ret
+        (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ jobs_arg $ metrics_arg
+         $ trace_arg))
 
 let observe_cmd =
   let output =

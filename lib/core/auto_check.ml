@@ -1,5 +1,6 @@
 module Explore = Lineup_scheduler.Explore
 module Pool = Lineup_parallel.Pool
+module Metrics = Lineup_observe.Metrics
 
 type outcome =
   | Failed of {
@@ -38,20 +39,32 @@ let result_stats (r : Check.result) =
   | None -> r.Check.phase1.Check.stats
   | Some p2 -> Explore.merge_stats r.Check.phase1.Check.stats p2.Check.stats
 
-let run ?config ?(domains = 1) ~max_tests adapter =
+let run ?config ?(domains = 1) ?metrics ~max_tests adapter =
+  let with_metrics = Option.is_some metrics in
   let results =
     Pool.map_seq ~domains
-      ~stop:(fun (_, r) -> not (Check.passed r))
-      ~f:(fun ~cancelled test -> (test, Check.run ?config ~cancelled adapter test))
+      ~stop:(fun (_, r, _) -> not (Check.passed r))
+      ~f:(fun ~cancelled test ->
+        (* Per-job registry, returned with the result: the pool discards
+           cancelled/post-stop jobs wholesale, so only the deterministic
+           result prefix ever contributes counters — the merged totals are
+           the sequential run's totals for every [domains] value. *)
+        let jm = if with_metrics then Some (Metrics.create ()) else None in
+        (test, Check.run ?config ~cancelled ?metrics:jm adapter test, jm))
       (Seq.take max_tests (test_seq adapter))
   in
+  (match metrics with
+   | Some m ->
+     List.iter (fun (_, _, jm) -> Option.iter (fun jm -> Metrics.merge_into ~into:m jm) jm) results;
+     Metrics.add m "auto.tests_run" (List.length results)
+   | None -> ());
   let tests_run = List.length results in
   let stats =
     List.fold_left
-      (fun acc (_, r) -> Explore.merge_stats acc (result_stats r))
+      (fun acc (_, r, _) -> Explore.merge_stats acc (result_stats r))
       Explore.empty_stats results
   in
   match List.rev results with
-  | (test, result) :: _ when not (Check.passed result) ->
+  | (test, result, _) :: _ when not (Check.passed result) ->
     Failed { test; result; tests_run; stats }
   | _ -> Budget_exhausted { tests_run; stats }

@@ -30,5 +30,16 @@ type outcome =
     enumeration order — so the outcome (test, verdict, [tests_run], merged
     [stats]) is identical to a sequential run. Parallel partitioning does
     not affect the completeness guarantee of §4.3: each job is a whole
-    [Check(X, m)]; the schedule space of a single test is never split. *)
-val run : ?config:Check.config -> ?domains:int -> max_tests:int -> Adapter.t -> outcome
+    [Check(X, m)]; the schedule space of a single test is never split.
+
+    [metrics] receives the merged per-job counters (see {!Check.run}) plus
+    [auto.tests_run]. Each pool job collects into its own registry which
+    travels with the job's result, so only the deterministic result prefix
+    is merged — the totals are byte-for-byte [domains]-independent. *)
+val run :
+  ?config:Check.config ->
+  ?domains:int ->
+  ?metrics:Lineup_observe.Metrics.t ->
+  max_tests:int ->
+  Adapter.t ->
+  outcome

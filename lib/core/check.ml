@@ -2,6 +2,8 @@ module History = Lineup_history.History
 module Serial_history = Lineup_history.Serial_history
 module Op = Lineup_history.Op
 module Explore = Lineup_scheduler.Explore
+module Metrics = Lineup_observe.Metrics
+module Trace = Lineup_observe.Trace
 
 type config = {
   phase1 : Explore.config;
@@ -75,8 +77,35 @@ let now () = Unix.gettimeofday ()
 
 let never_cancelled () = false
 
+(* Counter ingestion. All values are sums of ints over a deterministic job
+   set, so per-job registries merge to -j-independent totals; wall-clock
+   stays out of the metrics and goes to the trace stream instead. *)
+let add_explore_stats m ~prefix (s : Explore.stats) =
+  let c k v = Metrics.add m (Fmt.str "explore.%s.%s" prefix k) v in
+  c "executions" s.Explore.executions;
+  c "steps" s.Explore.total_steps;
+  c "deadlocks" s.Explore.deadlocks;
+  c "divergences" s.Explore.divergences;
+  c "serial_stucks" s.Explore.serial_stucks;
+  c "pruned_choices" s.Explore.pruned_choices;
+  c "preemptions" s.Explore.preemptions_spent;
+  c "yields" s.Explore.yields;
+  c "choice_points" s.Explore.choice_points;
+  c "incomplete" (if s.Explore.complete then 0 else 1)
+
+let mincr metrics k = match metrics with Some m -> Metrics.incr m k | None -> ()
+
+let trace_phase phase (report : phase_report) =
+  if Trace.enabled () then
+    Trace.emit ("check." ^ phase)
+      [
+        "histories", Trace.Int report.histories;
+        "executions", Trace.Int report.stats.Explore.executions;
+        "dt", Trace.Float report.time;
+      ]
+
 (* Phase 1: enumerate serial executions, synthesize the specification. *)
-let synthesize ?(config = default_config) ?(cancelled = never_cancelled) adapter test =
+let synthesize ?(config = default_config) ?(cancelled = never_cancelled) ?metrics adapter test =
   let observation = Observation.create () in
   let p1_start = now () in
   let p1_violation = ref None in
@@ -109,20 +138,30 @@ let synthesize ?(config = default_config) ?(cancelled = never_cancelled) adapter
       time = now () -. p1_start;
     }
   in
+  (match metrics with
+   | Some m ->
+     add_explore_stats m ~prefix:"phase1" p1_stats;
+     Metrics.add m "check.phase1.histories" phase1.histories
+   | None -> ());
+  trace_phase "phase1" phase1;
   match !p1_violation with
   | Some v -> Error (v, phase1)
   | None -> Ok (observation, phase1)
 
-let run ?(config = default_config) ?(cancelled = never_cancelled) ?observation adapter test =
+let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?observation adapter
+    test =
+  mincr metrics "check.runs";
   let phase1_result =
     match observation with
     | Some obs ->
       let histories = Observation.num_full obs + Observation.num_stuck obs in
+      mincr metrics "check.phase1.skipped";
       Ok (obs, { stats = Explore.empty_stats; histories; time = 0.0 })
-    | None -> synthesize ~config ~cancelled adapter test
+    | None -> synthesize ~config ~cancelled ?metrics adapter test
   in
   match phase1_result with
   | Error (v, phase1) ->
+    mincr metrics "check.violations";
     { verdict = Error v; observation = Observation.create (); phase1; phase2 = None }
   | Ok (observation, phase1) ->
     (* Phase 2: enumerate concurrent executions, check against the
@@ -130,6 +169,11 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?observation a
     let p2_start = now () in
     let p2_violation = ref None in
     let p2_histories = ref 0 in
+    let dedup_hits = ref 0 in
+    let witness_searches = ref 0 in
+    let witness_probes = ref 0 in
+    let stuck_checks = ref 0 in
+    let stuck_probes = ref 0 in
     (* Distinct histories seen: schedules frequently reproduce the same
        event sequence, and the witness verdict only depends on the history,
        so each distinct one is checked once. *)
@@ -145,6 +189,7 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?observation a
           | None
             when config.dedup_histories
                  && Hashtbl.mem seen (History.events r.history, History.is_stuck r.history) ->
+            incr dedup_hits;
             `Continue
           | None ->
             Hashtbl.replace seen (History.events r.history, History.is_stuck r.history) ();
@@ -152,14 +197,16 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?observation a
             if History.is_stuck r.history then
               if config.classic_only then `Continue
               else begin
-                match Observation.linearizable_stuck observation r.history with
+                incr stuck_checks;
+                match Observation.linearizable_stuck ~probes:stuck_probes observation r.history with
                 | Ok () -> `Continue
                 | Error op ->
                   p2_violation := Some (Stuck_unjustified (r.history, op));
                   `Stop
               end
             else begin
-              match Observation.find_witness_full observation r.history with
+              incr witness_searches;
+              match Observation.find_witness_full ~probes:witness_probes observation r.history with
               | Some _ -> `Continue
               | None ->
                 p2_violation := Some (No_witness r.history);
@@ -167,5 +214,19 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?observation a
             end)
     in
     let phase2 = { stats = p2_stats; histories = !p2_histories; time = now () -. p2_start } in
+    (match metrics with
+     | Some m ->
+       add_explore_stats m ~prefix:"phase2" p2_stats;
+       Metrics.add m "check.phase2.histories_distinct" !p2_histories;
+       Metrics.add m "check.phase2.dedup_hits" !dedup_hits;
+       Metrics.add m "check.phase2.witness_searches" !witness_searches;
+       Metrics.add m "check.phase2.witness_probes" !witness_probes;
+       Metrics.add m "check.phase2.stuck_checks" !stuck_checks;
+       Metrics.add m "check.phase2.stuck_probes" !stuck_probes
+     | None -> ());
+    trace_phase "phase2" phase2;
     let verdict = match !p2_violation with Some v -> Error v | None -> Ok () in
+    (match verdict with
+     | Ok () -> mincr metrics "check.passes"
+     | Error _ -> mincr metrics "check.violations");
     { verdict; observation; phase1; phase2 = Some phase2 }

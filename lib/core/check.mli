@@ -72,10 +72,21 @@ val pp_violation : Format.formatter -> violation -> unit
 (** [synthesize ?config adapter test] runs phase 1 only: enumerate the
     serial executions of [test] and build the observation set (the
     synthesized sequential specification). [Error] carries the phase-1
-    violation (nondeterminism, or an operation exception). *)
+    violation (nondeterminism, or an operation exception).
+
+    [metrics], here and in {!run}, receives the structured counters of the
+    observability layer (see README.md for the key schema): exploration
+    totals per phase under [explore.phase1.*] / [explore.phase2.*], and
+    checker-level counters under [check.*] (distinct histories, dedup hits,
+    witness-search probes, stuck-justification checks, verdicts). Counters
+    are plain increments outside the modeled runtime, so collection never
+    perturbs schedule enumeration; wall-clock timings are excluded (they
+    would break [-j] determinism) and are emitted on the opt-in
+    {!Lineup_observe.Trace} stream instead. *)
 val synthesize :
   ?config:config ->
   ?cancelled:(unit -> bool) ->
+  ?metrics:Lineup_observe.Metrics.t ->
   Adapter.t ->
   Test_matrix.t ->
   (Observation.t * phase_report, violation * phase_report) Stdlib.result
@@ -95,6 +106,7 @@ val synthesize :
 val run :
   ?config:config ->
   ?cancelled:(unit -> bool) ->
+  ?metrics:Lineup_observe.Metrics.t ->
   ?observation:Observation.t ->
   Adapter.t ->
   Test_matrix.t ->

@@ -6,24 +6,41 @@ type result = {
   checks_spent : int;
 }
 
-(* All tests obtained by deleting exactly one invocation, with emptied
-   columns removed. *)
+(* All tests obtained by deleting exactly one invocation — from any
+   column (emptied columns removed), from the init sequence, or from the
+   final sequence. Every candidate has exactly one fewer invocation than
+   [m], so the greedy descent in [reduce] terminates. Column deletions
+   come first: shrinking the concurrent part is what most often simplifies
+   the counterexample. *)
 let one_smaller (m : Test_matrix.t) =
   let cols = Array.to_list m.columns in
   let drop_nth l n = List.filteri (fun i _ -> i <> n) l in
-  List.concat
-    (List.mapi
-       (fun ci col ->
-         List.mapi
-           (fun ri _ ->
-             let col' = drop_nth col ri in
-             let cols' =
-               List.concat
-                 (List.mapi (fun cj c -> if cj = ci then (if col' = [] then [] else [ col' ]) else [ c ]) cols)
-             in
-             Test_matrix.make ~init:m.init ~final:m.final cols')
-           col)
-       cols)
+  let column_deletions =
+    List.concat
+      (List.mapi
+         (fun ci col ->
+           List.mapi
+             (fun ri _ ->
+               let col' = drop_nth col ri in
+               let cols' =
+                 List.concat
+                   (List.mapi (fun cj c -> if cj = ci then (if col' = [] then [] else [ col' ]) else [ c ]) cols)
+               in
+               Test_matrix.make ~init:m.init ~final:m.final cols')
+             col)
+         cols)
+  in
+  let init_deletions =
+    List.mapi
+      (fun i _ -> Test_matrix.make ~init:(drop_nth m.init i) ~final:m.final cols)
+      m.init
+  in
+  let final_deletions =
+    List.mapi
+      (fun i _ -> Test_matrix.make ~init:m.init ~final:(drop_nth m.final i) cols)
+      m.final
+  in
+  column_deletions @ init_deletions @ final_deletions
 
 let reduce ?config adapter test =
   let checks_spent = ref 0 in

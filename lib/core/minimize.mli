@@ -3,8 +3,12 @@
     Section 5.1 of the paper: "we manually remove operations from failing
     3x3 test matrices to obtain a failing test of minimal dimension, for the
     sake of easier reasoning and regression testing." This module automates
-    that step with a greedy fixpoint: repeatedly drop a single invocation
-    (or an emptied column) as long as [Check] still fails.
+    that step with a greedy fixpoint: repeatedly drop a single invocation —
+    from a concurrent column (emptied columns are removed), from the serial
+    [init] prefix, or from the serial [final] suffix — as long as [Check]
+    still fails. Deleting from [init]/[final] matters: a bug may reproduce
+    with less setup than the failing test used, and a reduced [init] is a
+    strictly simpler counterexample.
 
     By Lemma 8's contrapositive direction there is no guarantee every
     sub-test fails, so the result is a local minimum — which is also all the

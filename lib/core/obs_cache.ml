@@ -1,4 +1,11 @@
 module Invocation = Lineup_history.Invocation
+module Explore = Lineup_scheduler.Explore
+module Metrics = Lineup_observe.Metrics
+
+(* Bumped whenever the on-disk format or the key scheme changes; stamped
+   into both the file name and the root element, so files written by an
+   older scheme are never silently reused. *)
+let format_version = 2
 
 let test_key (test : Test_matrix.t) =
   let col invs = String.concat ";" (List.map Invocation.to_string invs) in
@@ -7,31 +14,101 @@ let test_key (test : Test_matrix.t) =
      :: Array.to_list (Array.map col test.columns)
      @ [ col test.final ])
 
-let cache_path ~dir (adapter : Adapter.t) test =
-  let digest = Digest.to_hex (Digest.string (adapter.Adapter.name ^ "\x00" ^ test_key test)) in
+let explore_fingerprint (c : Explore.config) =
+  let mode = match c.Explore.mode with Explore.Serial -> "serial" | Explore.Concurrent -> "concurrent" in
+  let opt = function None -> "-" | Some n -> string_of_int n in
+  String.concat ","
+    [ mode; opt c.Explore.preemption_bound; string_of_int c.Explore.max_steps;
+      opt c.Explore.max_executions ]
+
+(* Only the phase-1 exploration config shapes the observation set: the
+   cached file is a phase-1 artifact, and keying on phase-2 settings would
+   needlessly miss when only the bound changes. *)
+let config_fingerprint config =
+  let c =
+    let conf : Check.config = Option.value config ~default:Check.default_config in
+    conf.phase1
+  in
+  Digest.to_hex (Digest.string (explore_fingerprint c))
+
+let cache_path ?config ~dir (adapter : Adapter.t) test =
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            [ string_of_int format_version; config_fingerprint config;
+              adapter.Adapter.name; test_key test ]))
+  in
   Filename.concat dir (Fmt.str "%s.xml" digest)
 
-let phase1 ?config ~dir adapter test =
-  let path = cache_path ~dir adapter test in
-  if Sys.file_exists path then begin
-    let histories = Observation_file.load ~path in
+(* The pre-version-2 key: adapter + test only. Kept so a cache directory
+   written by the old scheme is evicted rather than leaking files forever. *)
+let legacy_cache_path ~dir (adapter : Adapter.t) test =
+  let digest =
+    Digest.to_hex (Digest.string (adapter.Adapter.name ^ "\x00" ^ test_key test))
+  in
+  Filename.concat dir (Fmt.str "%s.xml" digest)
+
+(* Recursive, and tolerant of a concurrent creation racing us between the
+   existence check and the mkdir (parallel workers share the cache dir). *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+
+let mincr metrics k = match metrics with Some m -> Metrics.incr m k | None -> ()
+
+let phase1 ?config ?metrics ~dir adapter test =
+  let path = cache_path ?config ~dir adapter test in
+  let fingerprint = config_fingerprint config in
+  let version = string_of_int format_version in
+  let cached =
+    if not (Sys.file_exists path) then None
+    else begin
+      let attrs, histories = Observation_file.load_full ~path in
+      if
+        List.assoc_opt "version" attrs = Some version
+        && List.assoc_opt "fingerprint" attrs = Some fingerprint
+      then Some histories
+      else begin
+        (* same file name but written under a different format/config:
+           evict, don't trust *)
+        mincr metrics "obs_cache.stale";
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+      end
+    end
+  in
+  match cached with
+  | Some histories -> begin
+    mincr metrics "obs_cache.hit";
     match Observation_file.observation_of_histories histories with
     | Ok obs -> Ok (obs, true)
     | Error (s1, s2) -> Error (Check.Nondeterministic (s1, s2))
   end
-  else begin
-    match Check.synthesize ?config adapter test with
+  | None -> begin
+    mincr metrics "obs_cache.miss";
+    let legacy = legacy_cache_path ~dir adapter test in
+    if Sys.file_exists legacy then begin
+      mincr metrics "obs_cache.stale";
+      (try Sys.remove legacy with Sys_error _ -> ())
+    end;
+    match Check.synthesize ?config ?metrics adapter test with
     | Ok (obs, _report) ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      Observation_file.save ~path obs;
+      mkdir_p dir;
+      Observation_file.save
+        ~root_attrs:[ "version", version; "fingerprint", fingerprint ]
+        ~path obs;
       Ok (obs, false)
     | Error (v, _report) -> Error v
   end
 
-let check ?config ~dir adapter test =
-  match phase1 ?config ~dir adapter test with
-  | Ok (observation, _hit) -> Check.run ?config ~observation adapter test
+let check ?config ?metrics ~dir adapter test =
+  match phase1 ?config ?metrics ~dir adapter test with
+  | Ok (observation, _hit) -> Check.run ?config ?metrics ~observation adapter test
   | Error _ ->
     (* a phase-1 violation (cached or fresh): run uncached so the result
        reflects the current implementation *)
-    Check.run ?config adapter test
+    Check.run ?config ?metrics adapter test

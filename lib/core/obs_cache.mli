@@ -6,25 +6,48 @@
     regression testing (re-checking a changed implementation against the
     previously recorded specification).
 
-    The cache key combines the adapter name and the full test content, so a
-    changed test never reuses a stale specification. Cached files are the
-    Fig. 7 XML format, hence human-readable and diffable. *)
+    The cache key combines a format version, a fingerprint of the phase-1
+    exploration configuration, the adapter name and the full test content —
+    so neither a changed test nor a changed exploration config (a different
+    step budget can record a {e smaller} observation set) ever reuses a
+    stale specification. The same version + fingerprint are stamped on the
+    file's root element and re-verified on load; a mismatch (e.g. a file
+    renamed by hand, or hash collision across schemes) counts as stale, is
+    evicted, and phase 1 re-runs. Cached files are the Fig. 7 XML format,
+    hence human-readable and diffable.
 
-(** [phase1 ?config ~dir adapter test] returns the observation set for
-    [test], loading it from [dir] when present and running + recording
-    phase 1 otherwise. [Error] propagates a phase-1 violation (possible
-    only on a cache miss; a cached file of a deterministic run stays
-    deterministic). The [bool] is [true] on a cache hit. *)
+    [metrics], where accepted, counts [obs_cache.hit], [obs_cache.miss] and
+    [obs_cache.stale] (evictions: embedded-stamp mismatches plus files left
+    by the pre-versioned key scheme), in addition to the counters recorded
+    by the underlying {!Check} calls. *)
+
+(** [phase1 ?config ?metrics ~dir adapter test] returns the observation set
+    for [test], loading it from [dir] when present and valid, and running +
+    recording phase 1 otherwise. [dir] is created recursively on first
+    write; concurrent creation by parallel workers is tolerated. [Error]
+    propagates a phase-1 violation (possible only on a cache miss; a cached
+    file of a deterministic run stays deterministic). The [bool] is [true]
+    on a cache hit. *)
 val phase1 :
   ?config:Check.config ->
+  ?metrics:Lineup_observe.Metrics.t ->
   dir:string ->
   Adapter.t ->
   Test_matrix.t ->
   (Observation.t * bool, Check.violation) result
 
-(** [check ?config ~dir adapter test] — [Check.run] with the phase-1 result
-    cached in [dir]. *)
-val check : ?config:Check.config -> dir:string -> Adapter.t -> Test_matrix.t -> Check.result
+(** [check ?config ?metrics ~dir adapter test] — [Check.run] with the
+    phase-1 result cached in [dir]. *)
+val check :
+  ?config:Check.config ->
+  ?metrics:Lineup_observe.Metrics.t ->
+  dir:string ->
+  Adapter.t ->
+  Test_matrix.t ->
+  Check.result
 
-(** The cache file used for a given adapter/test pair (inside [dir]). *)
-val cache_path : dir:string -> Adapter.t -> Test_matrix.t -> string
+(** The cache file used for a given config/adapter/test triple (inside
+    [dir]). [config] defaults to {!Check.default_config}; only its phase-1
+    part is keyed. *)
+val cache_path :
+  ?config:Check.config -> dir:string -> Adapter.t -> Test_matrix.t -> string

@@ -140,18 +140,23 @@ let history_key h : key =
   Hashtbl.fold (fun tid l acc -> (tid, List.rev l) :: acc) tbl []
   |> List.sort (fun (t1, _) (t2, _) -> Int.compare t1 t2)
 
-let find_in index h =
+let find_in ?probes index h =
   match Hashtbl.find_opt index (history_key h) with
   | None -> None
-  | Some candidates -> List.find_opt (fun serial -> Witness.is_witness ~serial h) !candidates
+  | Some candidates ->
+    List.find_opt
+      (fun serial ->
+        (match probes with Some p -> incr p | None -> ());
+        Witness.is_witness ~serial h)
+      !candidates
 
-let find_witness_full obs h = find_in obs.full_index h
-let find_witness_stuck obs he = find_in obs.stuck_index he
+let find_witness_full ?probes obs h = find_in ?probes obs.full_index h
+let find_witness_stuck ?probes obs he = find_in ?probes obs.stuck_index he
 
-let linearizable_stuck obs h =
+let linearizable_stuck ?probes obs h =
   let justified e =
     let he = History.restrict_to_pending h e in
-    Option.is_some (find_witness_stuck obs he)
+    Option.is_some (find_witness_stuck ?probes obs he)
   in
   match List.find_opt (fun e -> not (justified e)) (History.pending_ops h) with
   | None -> Ok ()

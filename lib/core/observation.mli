@@ -28,17 +28,23 @@ val num_stuck : t -> int
 val full_histories : t -> Lineup_history.Serial_history.t list
 val stuck_histories : t -> Lineup_history.Serial_history.t list
 
-(** [find_witness_full obs h] searches [A] for a serial witness of the
-    complete history [h]. *)
+(** [find_witness_full ?probes obs h] searches [A] for a serial witness of
+    the complete history [h]. [probes], when given, is incremented once per
+    candidate serial history examined — the witness-search work metric. *)
 val find_witness_full :
+  ?probes:int ref ->
   t -> Lineup_history.History.t -> Lineup_history.Serial_history.t option
 
-(** [find_witness_stuck obs he] searches [B] for a serial witness of [he],
-    which must be an [H[e]]-shaped stuck history (one pending operation). *)
+(** [find_witness_stuck ?probes obs he] searches [B] for a serial witness of
+    [he], which must be an [H[e]]-shaped stuck history (one pending
+    operation). *)
 val find_witness_stuck :
+  ?probes:int ref ->
   t -> Lineup_history.History.t -> Lineup_history.Serial_history.t option
 
-(** [linearizable_stuck obs h] applies Definition 2 to stuck history [h]:
-    every pending operation [e] must have a witness for [H[e]] in [B]. *)
+(** [linearizable_stuck ?probes obs h] applies Definition 2 to stuck history
+    [h]: every pending operation [e] must have a witness for [H[e]] in
+    [B]. *)
 val linearizable_stuck :
+  ?probes:int ref ->
   t -> Lineup_history.History.t -> (unit, Lineup_history.Op.t) result

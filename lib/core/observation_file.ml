@@ -101,7 +101,7 @@ let history_key h : key =
 
 let interleaving_tokens h = interleaving_tokens_keyed (id_map (history_key h)) h
 
-let to_xml obs =
+let to_xml ?(root_attrs = []) obs =
   let groups : (key, Serial_history.t list ref) Hashtbl.t = Hashtbl.create 64 in
   let insert s =
     let key = Serial_history.thread_key s in
@@ -126,13 +126,15 @@ let to_xml obs =
     |> List.sort (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2)
     |> List.map snd
   in
-  Xml.Element ("observationset", [], sections)
+  Xml.Element ("observationset", root_attrs, sections)
 
-let to_string obs = Xml.to_string (to_xml obs)
+let to_string ?root_attrs obs = Xml.to_string (to_xml ?root_attrs obs)
 
-let save ~path obs =
+let save ?root_attrs ~path obs =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string obs))
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?root_attrs obs))
 
 (* ---------------- parsing ---------------- *)
 
@@ -209,19 +211,27 @@ let parse_observation node =
     (fun (tag, el) -> if tag = "history" then Some (parse_history el) else None)
     (Xml.elements node)
 
-let of_string s =
+let of_string_full s =
   let root = Xml.of_string s in
   if Xml.tag root <> "observationset" then
     invalid_arg "Observation_file: expected <observationset>";
-  List.concat_map
-    (fun (tag, el) -> if tag = "observation" then parse_observation el else [])
-    (Xml.elements root)
+  let attrs = match root with Xml.Element (_, attrs, _) -> attrs | Xml.Text _ -> [] in
+  let histories =
+    List.concat_map
+      (fun (tag, el) -> if tag = "observation" then parse_observation el else [])
+      (Xml.elements root)
+  in
+  attrs, histories
 
-let load ~path =
+let of_string s = snd (of_string_full s)
+
+let load_full ~path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> of_string_full (really_input_string ic (in_channel_length ic)))
+
+let load ~path = snd (load_full ~path)
 
 let observation_of_histories histories =
   let obs = Observation.create () in

@@ -13,15 +13,29 @@
     [<op id="1" name="Add">value="200"</op>]), which round-trips robustly
     for string-valued arguments. *)
 
-val to_xml : Observation.t -> Xml.t
-val to_string : Observation.t -> string
-val save : path:string -> Observation.t -> unit
+(** [root_attrs] (default [[]]) are attached to the [<observationset>] root
+    element — {!Obs_cache} stamps its format version and configuration
+    fingerprint there. They do not affect the histories and are ignored by
+    {!of_string}/{!load}; use {!of_string_full}/{!load_full} to read them
+    back. *)
+val to_xml : ?root_attrs:(string * string) list -> Observation.t -> Xml.t
+
+val to_string : ?root_attrs:(string * string) list -> Observation.t -> string
+val save : ?root_attrs:(string * string) list -> path:string -> Observation.t -> unit
 
 (** [of_string s] parses an observation file back into its serial
     histories. Raises [Invalid_argument] on malformed input. *)
 val of_string : string -> Lineup_history.Serial_history.t list
 
 val load : path:string -> Lineup_history.Serial_history.t list
+
+(** Like {!of_string}/{!load}, additionally returning the root element's
+    attributes (empty for files written without [root_attrs]). *)
+val of_string_full :
+  string -> (string * string) list * Lineup_history.Serial_history.t list
+
+val load_full :
+  path:string -> (string * string) list * Lineup_history.Serial_history.t list
 
 (** Rebuild an observation set, reporting nondeterminism like
     [Observation.add]. *)

@@ -1,5 +1,6 @@
 module Explore = Lineup_scheduler.Explore
 module Pool = Lineup_parallel.Pool
+module Metrics = Lineup_observe.Metrics
 
 type test_outcome = {
   test : Test_matrix.t;
@@ -32,41 +33,58 @@ let report_of_outcomes outcomes =
         Explore.empty_stats outcomes;
   }
 
-let run_custom ?config ?(stop_at_first = false) ~gen ~samples adapter =
+let record_samples metrics outcomes =
+  match metrics with
+  | Some m -> Metrics.add m "random.samples" (List.length outcomes)
+  | None -> ()
+
+let run_custom ?config ?(stop_at_first = false) ?metrics ~gen ~samples adapter =
   let outcomes = ref [] in
   (try
      for _ = 1 to samples do
        let test = gen () in
-       let result = Check.run ?config adapter test in
+       let result = Check.run ?config ?metrics adapter test in
        outcomes := { test; result } :: !outcomes;
        if (not (Check.passed result)) && stop_at_first then raise Exit
      done
    with Exit -> ());
-  report_of_outcomes (List.rev !outcomes)
+  let outcomes = List.rev !outcomes in
+  record_samples metrics outcomes;
+  report_of_outcomes outcomes
 
-let run ?config ?stop_at_first ?(init = []) ?(final = []) ~rng ~invocations ~rows ~cols ~samples
-    adapter =
+let run ?config ?stop_at_first ?metrics ?(init = []) ?(final = []) ~rng ~invocations ~rows ~cols
+    ~samples adapter =
   let gen () = Test_matrix.random ~init ~final ~rng ~invocations ~rows ~cols () in
-  run_custom ?config ?stop_at_first ~gen ~samples adapter
+  run_custom ?config ?stop_at_first ?metrics ~gen ~samples adapter
 
 let run_seqs ?config ?stop_at_first ?(init = []) ?(final = []) ~rng ~sequences ~rows ~cols
     ~samples adapter =
   let gen () = Test_matrix.random_seqs ~init ~final ~rng ~sequences ~rows ~cols () in
   run_custom ?config ?stop_at_first ~gen ~samples adapter
 
-let run_parallel ?config ?(stop_at_first = false) ?(init = []) ?(final = []) ~domains ~seed
-    ~invocations ~rows ~cols ~samples adapter =
+let run_parallel ?config ?(stop_at_first = false) ?metrics ?(init = []) ?(final = []) ~domains
+    ~seed ~invocations ~rows ~cols ~samples adapter =
   if domains < 1 then invalid_arg "Random_check.run_parallel: domains must be >= 1";
-  let outcomes =
+  let with_metrics = Option.is_some metrics in
+  let results =
     Pool.map_seq ~domains
-      ~stop:(fun o -> stop_at_first && not (Check.passed o.result))
+      ~stop:(fun (o, _) -> stop_at_first && not (Check.passed o.result))
       ~f:(fun ~cancelled i ->
         (* Sample i draws from its own PRNG stream derived from (seed, i),
            so the sample set is a function of the seed alone — the domain
-           count affects wall-clock time and nothing else. *)
+           count affects wall-clock time and nothing else. The per-job
+           metrics registry rides with the result so that discarded jobs
+           drop their counters (see Auto_check). *)
         let rng = Random.State.make [| seed; i |] in
         let test = Test_matrix.random ~init ~final ~rng ~invocations ~rows ~cols () in
-        { test; result = Check.run ?config ~cancelled adapter test })
+        let jm = if with_metrics then Some (Metrics.create ()) else None in
+        ({ test; result = Check.run ?config ~cancelled ?metrics:jm adapter test }, jm))
       (Seq.init samples Fun.id)
   in
+  (match metrics with
+   | Some m ->
+     List.iter (fun (_, jm) -> Option.iter (fun jm -> Metrics.merge_into ~into:m jm) jm) results
+   | None -> ());
+  let outcomes = List.map fst results in
+  record_samples metrics outcomes;
   report_of_outcomes outcomes

@@ -24,10 +24,16 @@ type report = {
     adapter] samples [samples] tests of dimension [rows × cols] (threads =
     columns, as in the paper's matrix view) with entries from [invocations]
     and checks each. When [stop_at_first] is set (default [false]), sampling
-    stops after the first failing test. *)
+    stops after the first failing test.
+
+    [metrics], here and in {!run_custom}/{!run_parallel}, receives the
+    counters of every counted [Check] (see {!Check.run}) plus
+    [random.samples]; in {!run_parallel} the per-job registries of
+    discarded jobs are dropped, keeping the totals [domains]-independent. *)
 val run :
   ?config:Check.config ->
   ?stop_at_first:bool ->
+  ?metrics:Lineup_observe.Metrics.t ->
   ?init:Lineup_history.Invocation.t list ->
   ?final:Lineup_history.Invocation.t list ->
   rng:Random.State.t ->
@@ -42,6 +48,7 @@ val run :
 val run_custom :
   ?config:Check.config ->
   ?stop_at_first:bool ->
+  ?metrics:Lineup_observe.Metrics.t ->
   gen:(unit -> Test_matrix.t) ->
   samples:int ->
   Adapter.t ->
@@ -79,6 +86,7 @@ val run_seqs :
 val run_parallel :
   ?config:Check.config ->
   ?stop_at_first:bool ->
+  ?metrics:Lineup_observe.Metrics.t ->
   ?init:Lineup_history.Invocation.t list ->
   ?final:Lineup_history.Invocation.t list ->
   domains:int ->

@@ -1,0 +1,61 @@
+type field =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type sink = { oc : out_channel; mutex : Mutex.t; t0 : float }
+
+let state : sink option Atomic.t = Atomic.make None
+
+let enabled () = Option.is_some (Atomic.get state)
+
+let close () =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+    Atomic.set state None;
+    Mutex.lock s.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) (fun () -> close_out s.oc)
+
+let enable ~path =
+  close ();
+  let oc = open_out path in
+  Atomic.set state (Some { oc; mutex = Mutex.create (); t0 = Unix.gettimeofday () })
+
+let add_field buf (k, v) =
+  Buffer.add_char buf ',';
+  Buffer.add_string buf (Metrics.json_string k);
+  Buffer.add_char buf ':';
+  match v with
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
+  | Str s -> Buffer.add_string buf (Metrics.json_string s)
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let emit ev fields =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+    let t = Unix.gettimeofday () -. s.t0 in
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (Printf.sprintf "{\"t\":%.6f,\"ev\":" t);
+    Buffer.add_string buf (Metrics.json_string ev);
+    List.iter (add_field buf) fields;
+    Buffer.add_string buf "}\n";
+    Mutex.lock s.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.mutex)
+      (fun () ->
+        (* The sink may have been closed (or replaced) between the load and
+           the lock; dropping the event is the documented behavior. *)
+        match Atomic.get state with
+        | Some s' when s' == s -> output_string s.oc (Buffer.contents buf)
+        | Some _ | None -> ())
+
+let with_trace ~path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    enable ~path;
+    Fun.protect ~finally:close f

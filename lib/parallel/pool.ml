@@ -1,6 +1,45 @@
+module Trace = Lineup_observe.Trace
+
 type cancelled = unit -> bool
 
 let default_domains () = Domain.recommended_domain_count ()
+
+(* Trace hooks. Events carry the worker's domain id and the submission
+   index; the consumer reconstructs queue-depth curves, per-domain job
+   distribution, and cancellation latency (the gap between a [pool.stop]
+   and the last [pool.job_done] with [kept=false]) from the timestamped
+   NDJSON stream. All hooks are behind [Trace.enabled] — one relaxed
+   atomic load when tracing is off. *)
+let domain_id () = (Domain.self () :> int)
+
+let trace_take ~index ~queue_depth =
+  if Trace.enabled () then
+    Trace.emit "pool.take"
+      [
+        "index", Trace.Int index;
+        "domain", Trace.Int (domain_id ());
+        "queue_depth", Trace.Int queue_depth;
+      ]
+
+let trace_job_done ~index ~kept ~dt =
+  if Trace.enabled () then
+    Trace.emit "pool.job_done"
+      [
+        "index", Trace.Int index;
+        "domain", Trace.Int (domain_id ());
+        "kept", Trace.Bool kept;
+        "dt", Trace.Float dt;
+      ]
+
+let trace_stop ~index =
+  if Trace.enabled () then
+    Trace.emit "pool.stop"
+      [ "index", Trace.Int index; "domain", Trace.Int (domain_id ()) ]
+
+let trace_skip ~index =
+  if Trace.enabled () then
+    Trace.emit "pool.skip"
+      [ "index", Trace.Int index; "domain", Trace.Int (domain_id ()) ]
 
 (* ---------------- sequential fallback (domains <= 1) ---------------- *)
 
@@ -83,19 +122,31 @@ let worker st ~stop ~f () =
     match Queue.take_opt st.queue with
     | None -> Mutex.unlock st.mutex (* closed and drained: done *)
     | Some (i, x) ->
+      let qd = Queue.length st.queue in
       Condition.signal st.not_full;
       Mutex.unlock st.mutex;
+      trace_take ~index:i ~queue_depth:qd;
       (* Jobs past a stopping index are skipped outright; their results
          would be discarded anyway. *)
       if Atomic.get st.stop_at >= i then begin
+        let t0 = Unix.gettimeofday () in
         match f ~cancelled:(fun () -> Atomic.get st.stop_at < i) x with
         | r ->
           results := (i, Ok r) :: !results;
-          if stop r then lower_stop_at st i
+          trace_job_done ~index:i
+            ~kept:(Atomic.get st.stop_at >= i)
+            ~dt:(Unix.gettimeofday () -. t0);
+          if stop r then begin
+            lower_stop_at st i;
+            trace_stop ~index:i
+          end
         | exception e ->
           results := (i, Error e) :: !results;
-          lower_stop_at st i
-      end;
+          trace_job_done ~index:i ~kept:true ~dt:(Unix.gettimeofday () -. t0);
+          lower_stop_at st i;
+          trace_stop ~index:i
+      end
+      else trace_skip ~index:i;
       loop ()
   in
   loop ();

@@ -26,6 +26,8 @@ type exec_outcome = {
   exec_end : exec_end;
   steps : int;
   preemptions : int;
+  yields : int;
+  choice_points : int;
   errors : (int * exn) list;
 }
 
@@ -37,6 +39,9 @@ type stats = {
   serial_stucks : int;
   max_depth : int;
   pruned_choices : int;
+  preemptions_spent : int;
+  yields : int;
+  choice_points : int;
   complete : bool;
 }
 
@@ -56,6 +61,9 @@ let empty_stats =
     serial_stucks = 0;
     max_depth = 0;
     pruned_choices = 0;
+    preemptions_spent = 0;
+    yields = 0;
+    choice_points = 0;
     complete = true;
   }
 
@@ -68,6 +76,9 @@ let merge_stats a b =
     serial_stucks = a.serial_stucks + b.serial_stucks;
     max_depth = max a.max_depth b.max_depth;
     pruned_choices = a.pruned_choices + b.pruned_choices;
+    preemptions_spent = a.preemptions_spent + b.preemptions_spent;
+    yields = a.yields + b.yields;
+    choice_points = a.choice_points + b.choice_points;
     complete = a.complete && b.complete;
   }
 
@@ -110,6 +121,8 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
   let last_voluntary = ref true in
   let preemptions = ref 0 in
   let steps = ref 0 in
+  let yields = ref 0 in
+  let choice_points = ref 0 in
   let errors = ref [] in
   let killing = ref false in
   let open Effect.Deep in
@@ -172,6 +185,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
                     continue k ()
                   | Concurrent ->
                     yielded.(i) <- true;
+                    incr yields;
                     suspend ~voluntary:true k
                 end)
           | Rt.Choose (arity, _) ->
@@ -291,6 +305,10 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
             free, []
           | Some _ | None -> free, costly
         in
+        (* A genuine scheduling decision: more than one continuation was
+           schedulable. Counted outside the decider so replayed prefixes and
+           fresh decisions weigh the same. *)
+        if List.compare_length_with free 1 > 0 || costly <> [] then incr choice_points;
         let chosen = decider.decide_thread ~free ~costly in
         if not (List.mem chosen free || List.mem chosen costly) then
           Fmt.invalid_arg "Explore: replayed decision chose unschedulable thread %d" chosen;
@@ -312,7 +330,14 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
     end
   in
   let exec_end = loop () in
-  { exec_end; steps = !steps; preemptions = !preemptions; errors = List.rev !errors }
+  {
+    exec_end;
+    steps = !steps;
+    preemptions = !preemptions;
+    yields = !yields;
+    choice_points = !choice_points;
+    errors = List.rev !errors;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Depth-first systematic exploration with backtracking                *)
@@ -386,6 +411,28 @@ let next_prefix trace_rev =
   in
   go trace_rev
 
+let exec_end_label = function
+  | All_finished -> "finished"
+  | Deadlock _ -> "deadlock"
+  | Serial_stuck _ -> "serial-stuck"
+  | Diverged -> "diverged"
+
+(* One trace event per completed execution — granular enough to reconstruct
+   the exploration timeline, coarse enough not to matter on hot paths (a
+   single atomic load when tracing is off). *)
+let trace_execution ~kind ~depth (o : exec_outcome) =
+  if Lineup_observe.Trace.enabled () then
+    Lineup_observe.Trace.emit "explore.execution"
+      [
+        "kind", Lineup_observe.Trace.Str kind;
+        "end", Lineup_observe.Trace.Str (exec_end_label o.exec_end);
+        "steps", Lineup_observe.Trace.Int o.steps;
+        "preemptions", Lineup_observe.Trace.Int o.preemptions;
+        "yields", Lineup_observe.Trace.Int o.yields;
+        "choice_points", Lineup_observe.Trace.Int o.choice_points;
+        "depth", Lineup_observe.Trace.Int depth;
+      ]
+
 let explore cfg ~setup ~on_execution =
   let executions = ref 0 in
   let total_steps = ref 0 in
@@ -394,6 +441,9 @@ let explore cfg ~setup ~on_execution =
   let serial_stucks = ref 0 in
   let max_depth = ref 0 in
   let pruned = ref 0 in
+  let preempt_spent = ref 0 in
+  let yields = ref 0 in
+  let choice_points = ref 0 in
   let complete = ref true in
   let replay = ref [] in
   let continue_ = ref true in
@@ -417,6 +467,9 @@ let explore cfg ~setup ~on_execution =
     let outcome = run_one cfg ~decider ~pruned ~setup in
     incr executions;
     total_steps := !total_steps + outcome.steps;
+    preempt_spent := !preempt_spent + outcome.preemptions;
+    yields := !yields + outcome.yields;
+    choice_points := !choice_points + outcome.choice_points;
     (match outcome.exec_end with
      | Deadlock _ -> incr deadlocks
      | Diverged -> incr divergences
@@ -424,6 +477,7 @@ let explore cfg ~setup ~on_execution =
      | All_finished -> ());
     let depth = List.length !trace in
     if depth > !max_depth then max_depth := depth;
+    trace_execution ~kind:"dfs" ~depth outcome;
     (match on_execution outcome with
      | `Stop ->
        continue_ := false;
@@ -449,6 +503,9 @@ let explore cfg ~setup ~on_execution =
     serial_stucks = !serial_stucks;
     max_depth = !max_depth;
     pruned_choices = !pruned;
+    preemptions_spent = !preempt_spent;
+    yields = !yields;
+    choice_points = !choice_points;
     complete = !complete;
   }
 
@@ -485,6 +542,9 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
   let divergences = ref 0 in
   let serial_stucks = ref 0 in
   let pruned = ref 0 in
+  let preempt_spent = ref 0 in
+  let yields = ref 0 in
+  let choice_points = ref 0 in
   let continue_ = ref true in
   while !continue_ && !executions < target do
     let decider =
@@ -499,11 +559,15 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     let outcome = run_one cfg ~decider ~pruned ~setup in
     incr executions;
     total_steps := !total_steps + outcome.steps;
+    preempt_spent := !preempt_spent + outcome.preemptions;
+    yields := !yields + outcome.yields;
+    choice_points := !choice_points + outcome.choice_points;
     (match outcome.exec_end with
      | Deadlock _ -> incr deadlocks
      | Diverged -> incr divergences
      | Serial_stuck _ -> incr serial_stucks
      | All_finished -> ());
+    trace_execution ~kind:"random-walk" ~depth:0 outcome;
     match on_execution outcome with
     | `Stop -> continue_ := false
     | `Continue -> ()
@@ -516,5 +580,8 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     serial_stucks = !serial_stucks;
     max_depth = 0;
     pruned_choices = !pruned;
+    preemptions_spent = !preempt_spent;
+    yields = !yields;
+    choice_points = !choice_points;
     complete = false;
   }

@@ -59,6 +59,10 @@ type exec_outcome = {
   exec_end : exec_end;
   steps : int;
   preemptions : int;
+  yields : int;  (** [Rt.yield] suspensions (spin-loop iterations) *)
+  choice_points : int;
+      (** scheduling points where more than one continuation was
+          schedulable — the decisions that actually branch the search *)
   errors : (int * exn) list;
       (** exceptions escaping thread bodies (implementation bugs of a
           different kind; exploration continues) *)
@@ -72,6 +76,9 @@ type stats = {
   serial_stucks : int;
   max_depth : int;  (** deepest decision trace seen *)
   pruned_choices : int;  (** alternatives dropped by the preemption bound *)
+  preemptions_spent : int;  (** preemptions consumed, summed over executions *)
+  yields : int;  (** fairness yields observed, summed over executions *)
+  choice_points : int;  (** branching scheduling decisions, summed *)
   complete : bool;
       (** the schedule space was exhausted (no budget cut, no early stop) *)
 }

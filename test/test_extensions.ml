@@ -91,6 +91,91 @@ let suite =
             in
             let r = Check.run ~observation:obs Conc.Concurrent_queue.pre test in
             Alcotest.(check bool) "regression caught" false (Check.passed r)));
+    test "obs_cache: a different phase-1 config misses (stale-key regression)" (fun () ->
+        with_temp_dir (fun dir ->
+            (* a phase-1 config with a tighter step budget can record a
+               smaller observation set; reusing the default-config file for
+               it would be a stale hit. Under the pre-fingerprint key scheme
+               both configs mapped to the same file, so this test failed. *)
+            let small_phase1 =
+              {
+                Check.default_config with
+                Check.phase1 = { Explore.serial_config with Explore.max_steps = 123 };
+              }
+            in
+            let p_default = Obs_cache.cache_path ~dir Conc.Counters.correct counter_test in
+            let p_small =
+              Obs_cache.cache_path ~config:small_phase1 ~dir Conc.Counters.correct counter_test
+            in
+            Alcotest.(check bool) "distinct cache files" false (String.equal p_default p_small);
+            (match Obs_cache.phase1 ~dir Conc.Counters.correct counter_test with
+             | Ok (_, hit) -> Alcotest.(check bool) "first run misses" false hit
+             | Error _ -> Alcotest.fail "unexpected phase-1 violation");
+            match Obs_cache.phase1 ~config:small_phase1 ~dir Conc.Counters.correct counter_test with
+            | Ok (_, hit) -> Alcotest.(check bool) "other config misses" false hit
+            | Error _ -> Alcotest.fail "unexpected phase-1 violation"));
+    test "obs_cache: a file without the embedded stamp is evicted as stale" (fun () ->
+        with_temp_dir (fun dir ->
+            let m = Lineup_observe.Metrics.create () in
+            (match Obs_cache.phase1 ~metrics:m ~dir Conc.Counters.correct counter_test with
+             | Ok (obs, _) ->
+               (* overwrite the cache file without the version/fingerprint
+                  attributes, as a pre-versioned writer would have *)
+               let path = Obs_cache.cache_path ~dir Conc.Counters.correct counter_test in
+               Observation_file.save ~path obs
+             | Error _ -> Alcotest.fail "unexpected phase-1 violation");
+            (match Obs_cache.phase1 ~metrics:m ~dir Conc.Counters.correct counter_test with
+             | Ok (_, hit) -> Alcotest.(check bool) "stamp mismatch misses" false hit
+             | Error _ -> Alcotest.fail "unexpected phase-1 violation");
+            Alcotest.(check int) "stale eviction counted" 1
+              (Lineup_observe.Metrics.get m "obs_cache.stale");
+            match Obs_cache.phase1 ~metrics:m ~dir Conc.Counters.correct counter_test with
+            | Ok (_, hit) -> Alcotest.(check bool) "rewritten file hits" true hit
+            | Error _ -> Alcotest.fail "unexpected phase-1 violation"));
+    test "obs_cache: concurrent writers create the cache dir race-free" (fun () ->
+        (* a nested, not-yet-existing directory, populated by four domains
+           at once: the old non-recursive Sys.mkdir raised ENOENT on the
+           nesting and EEXIST on the race *)
+        let base = Filename.temp_file "lineup" "mkdirp" in
+        Sys.remove base;
+        let dir = Filename.concat (Filename.concat base "a") "b" in
+        let tests =
+          [|
+            Test_matrix.make [ [ inv "Inc" ] ];
+            Test_matrix.make [ [ inv "Get" ] ];
+            Test_matrix.make [ [ inv "Inc"; inv "Get" ] ];
+            Test_matrix.make [ [ inv "Inc" ]; [ inv "Get" ] ];
+          |]
+        in
+        let domains =
+          Array.map
+            (fun test ->
+              Domain.spawn (fun () -> Obs_cache.phase1 ~dir Conc.Counters.correct test))
+            tests
+        in
+        Array.iter
+          (fun d ->
+            match Domain.join d with
+            | Ok (_, hit) -> Alcotest.(check bool) "fresh dir misses" false hit
+            | Error _ -> Alcotest.fail "unexpected phase-1 violation")
+          domains;
+        Alcotest.(check int) "all four files written" 4 (Array.length (Sys.readdir dir));
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir;
+        Sys.rmdir (Filename.concat base "a");
+        Sys.rmdir base);
+    test "minimize also deletes from init and final" (fun () ->
+        (* the counter bug needs only the concurrent part; a padded init and
+           final must be stripped — the pre-fix minimizer only ever deleted
+           from the columns, so the reduced test kept the padding *)
+        let padded =
+          Test_matrix.make ~init:[ inv "Inc" ] ~final:[ inv "Inc" ]
+            [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ]
+        in
+        let r = Minimize.reduce Conc.Counters.buggy_unlocked padded in
+        Alcotest.(check bool) "still fails" false (Check.passed r.Minimize.check);
+        Alcotest.(check int) "init stripped" 0 (List.length r.Minimize.test.Test_matrix.init);
+        Alcotest.(check int) "final stripped" 0 (List.length r.Minimize.test.Test_matrix.final));
     test "random_seqs cells are whole sequences" (fun () ->
         let rng = Random.State.make [| 9 |] in
         let sequences = [ [ inv "A"; inv "B" ]; [ inv "C" ] ] in

@@ -1,0 +1,141 @@
+(* Tests for the observability layer: the metrics registry's determinism
+   contract (identical counters — and bytes — for every -j value), and the
+   NDJSON trace sink. *)
+
+open Helpers
+module Conc = Lineup_conc
+module Metrics = Lineup_observe.Metrics
+module Trace = Lineup_observe.Trace
+open Lineup
+
+let counter_test = Test_matrix.make [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ]
+
+let with_temp_file f =
+  let path = Filename.temp_file "lineup" "observe" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let suite =
+  [
+    test "metrics: add/incr/get basics" (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check int) "unregistered is 0" 0 (Metrics.get m "a");
+        Metrics.incr m "a";
+        Metrics.add m "a" 2;
+        Metrics.add m "b" 0;
+        Alcotest.(check int) "a" 3 (Metrics.get m "a");
+        Alcotest.(check int) "b pinned at 0" 0 (Metrics.get m "b");
+        Alcotest.(check (list (pair string int))) "sorted assoc"
+          [ "a", 3; "b", 0 ]
+          (Metrics.to_assoc m));
+    test "metrics: merge_into is pointwise addition" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        Metrics.add a "x" 1;
+        Metrics.add b "x" 2;
+        Metrics.add b "y" 5;
+        Metrics.merge_into ~into:a b;
+        Alcotest.(check int) "x" 3 (Metrics.get a "x");
+        Alcotest.(check int) "y" 5 (Metrics.get a "y"));
+    test "metrics: to_json is order-insensitive and byte-stable" (fun () ->
+        let a = Metrics.create () and b = Metrics.create () in
+        List.iter (fun (k, v) -> Metrics.add a k v) [ "z", 1; "a", 2; "m", 3 ];
+        List.iter (fun (k, v) -> Metrics.add b k v) [ "m", 3; "z", 1; "a", 2 ];
+        Alcotest.(check string) "identical JSON" (Metrics.to_json a) (Metrics.to_json b));
+    test "auto: metrics are -j independent" (fun () ->
+        let collect domains =
+          let m = Metrics.create () in
+          ignore (Auto_check.run ~domains ~metrics:m ~max_tests:9 Conc.Counters.correct);
+          Metrics.to_json m
+        in
+        Alcotest.(check string) "j=1 equals j=4" (collect 1) (collect 4));
+    test "random run_parallel: metrics are -j independent" (fun () ->
+        let collect domains =
+          let m = Metrics.create () in
+          ignore
+            (Random_check.run_parallel ~domains ~metrics:m ~seed:7
+               ~invocations:[ inv "Inc"; inv "Get" ]
+               ~rows:2 ~cols:2 ~samples:8 Conc.Counters.correct);
+          Metrics.to_json m
+        in
+        Alcotest.(check string) "j=1 equals j=3" (collect 1) (collect 3));
+    test "random run_parallel with stop_at_first: metrics are -j independent" (fun () ->
+        (* the deterministic prefix cut: discarded jobs must not leak
+           counters into the merged summary *)
+        let collect domains =
+          let m = Metrics.create () in
+          ignore
+            (Random_check.run_parallel ~domains ~stop_at_first:true ~metrics:m ~seed:3
+               ~invocations:[ inv "Inc"; inv "Get" ]
+               ~rows:2 ~cols:2 ~samples:12 Conc.Counters.buggy_unlocked);
+          Metrics.to_json m
+        in
+        let j1 = collect 1 in
+        Alcotest.(check string) "j=1 equals j=4" j1 (collect 4);
+        Alcotest.(check string) "repeatable" j1 (collect 1));
+    test "check: counters reflect the run" (fun () ->
+        let m = Metrics.create () in
+        let r = Check.run ~metrics:m Conc.Counters.correct counter_test in
+        Alcotest.(check bool) "passes" true (Check.passed r);
+        Alcotest.(check int) "one run" 1 (Metrics.get m "check.runs");
+        Alcotest.(check int) "one pass" 1 (Metrics.get m "check.passes");
+        Alcotest.(check int) "phase-1 histories" r.Check.phase1.Check.histories
+          (Metrics.get m "check.phase1.histories");
+        Alcotest.(check int) "phase-1 executions"
+          r.Check.phase1.Check.stats.Lineup_scheduler.Explore.executions
+          (Metrics.get m "explore.phase1.executions");
+        Alcotest.(check bool) "witness searches happened" true
+          (Metrics.get m "check.phase2.witness_searches" > 0);
+        Alcotest.(check bool) "probes >= searches" true
+          (Metrics.get m "check.phase2.witness_probes"
+           >= Metrics.get m "check.phase2.witness_searches"));
+    test "metrics file parses and carries the schema marker" (fun () ->
+        with_temp_file (fun path ->
+            let m = Metrics.create () in
+            Metrics.add m "check.runs" 1;
+            Metrics.write_file m ~path;
+            let ic = open_in path in
+            let content =
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            Alcotest.(check string) "file equals to_json" (Metrics.to_json m) content;
+            Alcotest.(check bool) "schema marker" true
+              (contains ~sub:"lineup-metrics/1" content)));
+    test "trace: emits one well-formed NDJSON line per event" (fun () ->
+        with_temp_file (fun path ->
+            Trace.with_trace ~path:(Some path) (fun () ->
+                Alcotest.(check bool) "enabled inside" true (Trace.enabled ());
+                Trace.emit "test.event"
+                  [ "n", Trace.Int 3; "ok", Trace.Bool true; "s", Trace.Str "a\"b" ];
+                Trace.emit "test.other" []);
+            Alcotest.(check bool) "disabled outside" false (Trace.enabled ());
+            let ic = open_in path in
+            let lines = ref [] in
+            (try
+               while true do
+                 lines := input_line ic :: !lines
+               done
+             with End_of_file -> close_in ic);
+            let lines = List.rev !lines in
+            Alcotest.(check int) "two lines" 2 (List.length lines);
+            List.iter
+              (fun line ->
+                Alcotest.(check bool) "object shape" true
+                  (String.length line > 2 && line.[0] = '{'
+                   && line.[String.length line - 1] = '}'))
+              lines;
+            Alcotest.(check bool) "event name present" true
+              (contains ~sub:"\"ev\":\"test.event\"" (List.hd lines));
+            Alcotest.(check bool) "escaped string field" true
+              (contains ~sub:"\"s\":\"a\\\"b\"" (List.hd lines))));
+    test "trace: emit outside with_trace is a no-op" (fun () ->
+        Trace.emit "never.seen" [ "n", Trace.Int 1 ];
+        Alcotest.(check bool) "disabled" false (Trace.enabled ()));
+  ]
+
+let tests = suite
