@@ -35,10 +35,13 @@ let with_observability ~metrics_file ~trace_file f =
 
 (* Exit-code contract (the CI gate): 0 — the check completed and found no
    violation; 1 — a linearizability violation, nondeterministic behavior, or
-   a non-reproducing regression was reported. Cmdliner's own codes (124
-   usage error, 125 internal error) are untouched, so `lineup auto … && …`
-   gates a pipeline exactly on "checked and clean". *)
+   a non-reproducing regression was reported; 2 — the check was cancelled
+   before completing, so there is no verdict either way (never 0: a
+   cancelled run must not pass a gate). Cmdliner's own codes (124 usage
+   error, 125 internal error) are untouched, so `lineup auto … && …` gates
+   a pipeline exactly on "checked and clean". *)
 let exit_violation = 1
+let exit_cancelled = 2
 
 let gate_exits =
   Cmd.Exit.info 0 ~doc:"if the check completed without reporting a violation."
@@ -46,6 +49,10 @@ let gate_exits =
        ~doc:
          "if a linearizability violation or nondeterministic behavior was reported — the code \
           to gate CI pipelines on."
+  :: Cmd.Exit.info exit_cancelled
+       ~doc:
+         "if the check was cancelled before completing: no verdict. Deliberately non-zero so \
+          an interrupted check cannot pass a gate."
   :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
 
 let list_entries () =
@@ -94,21 +101,39 @@ let parse_column s =
 let config_of ~pb ~cap ~classic =
   Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic ()
 
-let check_cmd_run name columns pb cap classic verbose cache_dir metrics_file trace_file =
+(* --cancel-after N: a deterministic cancellation token that fires after N
+   polls — a testing aid exercising the Cancelled verdict and exit code. *)
+let cancel_after = function
+  | None -> None
+  | Some n ->
+    let polls = ref 0 in
+    Some
+      (fun () ->
+        incr polls;
+        !polls > n)
+
+let check_cmd_run name columns pb cap classic jobs frontier_depth cancel_polls verbose cache_dir
+    metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
-    let config = config_of ~pb ~cap ~classic in
+    let config =
+      let c = config_of ~pb ~cap ~classic in
+      { c with Check.phase2_domains = jobs; phase2_frontier_depth = frontier_depth }
+    in
+    let cancelled = cancel_after cancel_polls in
     let r =
       with_observability ~metrics_file ~trace_file (fun metrics ->
           match cache_dir with
-          | Some dir -> Obs_cache.check ~config ?metrics ~dir adapter test
-          | None -> Check.run ~config ?metrics adapter test)
+          | Some dir -> Obs_cache.check ~config ?metrics ?cancelled ~dir adapter test
+          | None -> Check.run ~config ?metrics ?cancelled adapter test)
     in
     if verbose then Fmt.pr "%s@." (Report.check_result_to_string ~adapter ~test r)
     else Fmt.pr "%s@." (Report.summary r);
-    if Check.passed r then `Ok 0 else `Ok exit_violation
+    if Check.passed r then `Ok 0
+    else if Check.cancelled r then `Ok exit_cancelled
+    else `Ok exit_violation
 
 let random_cmd_run name rows cols samples seed pb cap stop_at_first domains metrics_file
     trace_file =
@@ -308,6 +333,41 @@ let jobs_arg =
            and exit codes are identical for every value of $(docv) — parallelism only changes \
            wall-clock time. Defaults to the machine's recommended domain count.")
 
+let check_jobs_arg =
+  Arg.(
+    value
+    & opt (some domain_count) None
+    & info [ "j"; "jobs"; "domains" ] ~docv:"N"
+        ~doc:
+          "Fan phase 2 of this single check out over $(docv) OCaml domains by frontier \
+           splitting: a sequential warm-up enumerates the shallow decision prefixes of the \
+           schedule tree, and each prefix subtree is explored as an independent partition. \
+           The verdict, report and metrics are identical for every value of $(docv) (the \
+           partition set and its merge order are fixed by the frontier, not the domain \
+           count). When omitted, phase 2 runs the legacy single-domain exploration, whose \
+           metrics differ slightly from $(b,-j 1): dedup tables are per partition under \
+           $(b,-j).")
+
+let frontier_depth_arg =
+  Arg.(
+    value
+    & opt domain_count 4
+    & info [ "frontier-depth" ] ~docv:"DEPTH"
+        ~doc:
+          "Decision-prefix length of the $(b,-j) warm-up (default 4). Deeper frontiers give \
+           more, smaller partitions: better load balance, more warm-up work. Ignored without \
+           $(b,-j).")
+
+let cancel_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cancel-after" ] ~docv:"POLLS"
+        ~doc:
+          "Cancel the check after $(docv) cancellation polls (roughly, explored executions). \
+           A testing aid: the run reports CANCELLED and exits with code 2, never 0 — used by \
+           CI to pin the incomplete-check exit contract.")
+
 let metrics_arg =
   Arg.(
     value
@@ -346,7 +406,8 @@ let check_cmd =
     Term.(
       ret
         (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
-         $ verbose_arg $ cache_dir_arg $ metrics_arg $ trace_arg))
+         $ check_jobs_arg $ frontier_depth_arg $ cancel_after_arg $ verbose_arg $ cache_dir_arg
+         $ metrics_arg $ trace_arg))
 
 let random_cmd =
   let rows = Arg.(value & opt int 3 & info [ "rows" ] ~doc:"Operations per thread.") in
@@ -412,9 +473,11 @@ let main =
       `P
         "$(b,check), $(b,random), $(b,auto) and $(b,repro) exit with 0 when the check completed \
          and found no violation, and with 1 when a linearizability violation or nondeterministic \
-         behavior was reported — so any of them can gate a CI pipeline directly. Usage errors \
-         use cmdliner's standard codes (124 command-line error, 125 internal error). The \
-         $(b,-j) flag never changes results or exit codes, only wall-clock time.";
+         behavior was reported — so any of them can gate a CI pipeline directly. A check that \
+         was cancelled before completing exits with 2: it carries no verdict and must not pass \
+         a gate. Usage errors use cmdliner's standard codes (124 command-line error, 125 \
+         internal error). The $(b,-j) flag never changes results or exit codes, only \
+         wall-clock time.";
     ]
   in
   Cmd.group

@@ -42,8 +42,8 @@ let () =
   let r = Check.run ~observation:obs Conc.Concurrent_queue.pre test in
   Fmt.pr "CTP queue vs recorded spec:     %s@.@." (Report.summary r);
   (match r.Check.verdict with
-   | Error v -> Fmt.pr "%a@." Check.pp_violation v
-   | Ok () -> ());
+   | Check.Fail v -> Fmt.pr "%a@." Check.pp_violation v
+   | Check.Pass | Check.Cancelled -> ());
   (* cleanup *)
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir

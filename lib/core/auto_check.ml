@@ -43,7 +43,7 @@ let run ?config ?(domains = 1) ?metrics ~max_tests adapter =
   let with_metrics = Option.is_some metrics in
   let results =
     Pool.map_seq ~domains
-      ~stop:(fun (_, r, _) -> not (Check.passed r))
+      ~stop:(fun (_, r, _) -> Check.failed r)
       ~f:(fun ~cancelled test ->
         (* Per-job registry, returned with the result: the pool discards
            cancelled/post-stop jobs wholesale, so only the deterministic
@@ -65,6 +65,6 @@ let run ?config ?(domains = 1) ?metrics ~max_tests adapter =
       Explore.empty_stats results
   in
   match List.rev results with
-  | (test, result, _) :: _ when not (Check.passed result) ->
+  | (test, result, _) :: _ when Check.failed result ->
     Failed { test; result; tests_run; stats }
   | _ -> Budget_exhausted { tests_run; stats }

@@ -4,12 +4,15 @@ module Op = Lineup_history.Op
 module Explore = Lineup_scheduler.Explore
 module Metrics = Lineup_observe.Metrics
 module Trace = Lineup_observe.Trace
+module Pool = Lineup_parallel.Pool
 
 type config = {
   phase1 : Explore.config;
   phase2 : Explore.config;
   classic_only : bool;
   dedup_histories : bool;
+  phase2_domains : int option;
+  phase2_frontier_depth : int;
 }
 
 let default_config =
@@ -18,9 +21,12 @@ let default_config =
     phase2 = Explore.default_config;
     classic_only = false;
     dedup_histories = true;
+    phase2_domains = None;
+    phase2_frontier_depth = 4;
   }
 
-let config_with ?preemption_bound ?max_executions ?(classic_only = false) () =
+let config_with ?preemption_bound ?max_executions ?(classic_only = false) ?phase2_domains
+    ?(frontier_depth = default_config.phase2_frontier_depth) () =
   let phase2 = default_config.phase2 in
   let phase2 =
     match preemption_bound with
@@ -32,13 +38,24 @@ let config_with ?preemption_bound ?max_executions ?(classic_only = false) () =
     | Some cap -> { phase2 with Explore.max_executions = cap }
     | None -> phase2
   in
-  { default_config with phase2; classic_only }
+  {
+    default_config with
+    phase2;
+    classic_only;
+    phase2_domains;
+    phase2_frontier_depth = frontier_depth;
+  }
 
 type violation =
   | Nondeterministic of Serial_history.t * Serial_history.t
   | No_witness of History.t
   | Stuck_unjustified of History.t * Op.t
   | Thread_exception of { tid : int; message : string }
+
+type verdict =
+  | Pass
+  | Fail of violation
+  | Cancelled
 
 type phase_report = {
   stats : Explore.stats;
@@ -47,13 +64,15 @@ type phase_report = {
 }
 
 type result = {
-  verdict : (unit, violation) Stdlib.result;
+  verdict : verdict;
   observation : Observation.t;
   phase1 : phase_report;
   phase2 : phase_report option;
 }
 
-let passed r = Result.is_ok r.verdict
+let passed r = match r.verdict with Pass -> true | Fail _ | Cancelled -> false
+let failed r = match r.verdict with Fail _ -> true | Pass | Cancelled -> false
+let cancelled r = match r.verdict with Cancelled -> true | Pass | Fail _ -> false
 
 let pp_violation ppf = function
   | Nondeterministic (s1, s2) ->
@@ -73,7 +92,9 @@ let exception_of (outcome : Explore.exec_outcome) =
   | [] -> None
   | (tid, e) :: _ -> Some (Thread_exception { tid; message = Printexc.to_string e })
 
-let now () = Unix.gettimeofday ()
+(* Monotonic, not wall-clock: phase durations must not jump when NTP
+   adjusts the system clock. *)
+let now () = Lineup_observe.Monotonic.now ()
 
 let never_cancelled () = false
 
@@ -109,9 +130,13 @@ let synthesize ?(config = default_config) ?(cancelled = never_cancelled) ?metric
   let observation = Observation.create () in
   let p1_start = now () in
   let p1_violation = ref None in
+  let p1_interrupted = ref false in
   let p1_stats =
     Harness.run_phase config.phase1 ~adapter ~test ~on_history:(fun r ->
-        if cancelled () then `Stop
+        if cancelled () then begin
+          p1_interrupted := true;
+          `Stop
+        end
         else
         match exception_of r.outcome with
         | Some v ->
@@ -145,8 +170,215 @@ let synthesize ?(config = default_config) ?(cancelled = never_cancelled) ?metric
    | None -> ());
   trace_phase "phase1" phase1;
   match !p1_violation with
-  | Some v -> Error (v, phase1)
-  | None -> Ok (observation, phase1)
+  | Some v -> Error (Fail v, phase1)
+  | None ->
+    if !p1_interrupted then Error (Cancelled, phase1) else Ok (observation, phase1)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2 checking                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-history checking state. One of these exists per exploration:
+   a single one for the monolithic path, one per frontier partition for
+   the parallel path (each partition job runs on its own domain, so the
+   cells and the dedup table are never shared). *)
+type p2_checker = {
+  on_history : Harness.run_result -> [ `Continue | `Stop ];
+  found : violation option ref;
+  interrupted : bool ref;
+  histories : int ref;
+  dedup_hits : int ref;
+  witness_searches : int ref;
+  witness_probes : int ref;
+  stuck_checks : int ref;
+  stuck_probes : int ref;
+}
+
+let p2_checker config ~observation ~cancelled =
+  let found = ref None in
+  let interrupted = ref false in
+  let histories = ref 0 in
+  let dedup_hits = ref 0 in
+  let witness_searches = ref 0 in
+  let witness_probes = ref 0 in
+  let stuck_checks = ref 0 in
+  let stuck_probes = ref 0 in
+  (* Distinct histories seen: schedules frequently reproduce the same
+     event sequence, and the witness verdict only depends on the history,
+     so each distinct one is checked once. (Scoped to this checker — the
+     parallel path may re-check a history that also occurs in another
+     partition.) *)
+  let seen : (Lineup_history.Event.t list * bool, unit) Hashtbl.t = Hashtbl.create 256 in
+  let on_history (r : Harness.run_result) =
+    if cancelled () then begin
+      interrupted := true;
+      `Stop
+    end
+    else
+    match exception_of r.outcome with
+    | Some v ->
+      found := Some v;
+      `Stop
+    | None
+      when config.dedup_histories
+           && Hashtbl.mem seen (History.events r.history, History.is_stuck r.history) ->
+      incr dedup_hits;
+      `Continue
+    | None ->
+      Hashtbl.replace seen (History.events r.history, History.is_stuck r.history) ();
+      incr histories;
+      if History.is_stuck r.history then
+        if config.classic_only then `Continue
+        else begin
+          incr stuck_checks;
+          match Observation.linearizable_stuck ~probes:stuck_probes observation r.history with
+          | Ok () -> `Continue
+          | Error op ->
+            found := Some (Stuck_unjustified (r.history, op));
+            `Stop
+        end
+      else begin
+        incr witness_searches;
+        match Observation.find_witness_full ~probes:witness_probes observation r.history with
+        | Some _ -> `Continue
+        | None ->
+          found := Some (No_witness r.history);
+          `Stop
+      end
+  in
+  {
+    on_history;
+    found;
+    interrupted;
+    histories;
+    dedup_hits;
+    witness_searches;
+    witness_probes;
+    stuck_checks;
+    stuck_probes;
+  }
+
+let add_checker_counters m (c : p2_checker) =
+  Metrics.add m "check.phase2.histories_distinct" !(c.histories);
+  Metrics.add m "check.phase2.dedup_hits" !(c.dedup_hits);
+  Metrics.add m "check.phase2.witness_searches" !(c.witness_searches);
+  Metrics.add m "check.phase2.witness_probes" !(c.witness_probes);
+  Metrics.add m "check.phase2.stuck_checks" !(c.stuck_checks);
+  Metrics.add m "check.phase2.stuck_probes" !(c.stuck_probes)
+
+(* The legacy single-domain path: one exploration, one dedup table. *)
+let run_phase2_monolithic config ~cancelled ~metrics ~adapter ~test ~observation =
+  let c = p2_checker config ~observation ~cancelled in
+  let stats = Harness.run_phase config.phase2 ~adapter ~test ~on_history:c.on_history in
+  (match metrics with
+   | Some m ->
+     add_explore_stats m ~prefix:"phase2" stats;
+     add_checker_counters m c
+   | None -> ());
+  (stats, !(c.histories), !(c.found), !(c.interrupted))
+
+type partition_result = {
+  pt_stats : Explore.stats;
+  pt_violation : violation option;
+  pt_interrupted : bool;
+  pt_histories : int;
+  pt_metrics : Metrics.t option;
+}
+
+(* The frontier path: a shallow sequential warm-up enumerates the
+   depth-[phase2_frontier_depth] decision prefixes, then the partitions fan
+   out over the pool. Determinism: the frontier is computed on the calling
+   domain (identical for every [domains]), [Pool.map_seq] keeps the
+   submission-order prefix of results up to the earliest stopping partition
+   regardless of [domains], and partitions before a violating one always
+   run to completion — so the verdict, the merged statistics and the merged
+   metrics are a function of the frontier alone, not of the domain count.
+
+   The warm-up ignores thread exceptions: each warm-up execution is
+   re-executed as the leftmost leaf of its partition, where the exception
+   is caught in canonical order. [config.phase2.max_executions] caps the
+   warm-up (bounding the partition count) and each partition separately. *)
+let run_phase2_frontier config ~domains ~cancelled ~metrics ~adapter ~test ~observation =
+  let depth = config.phase2_frontier_depth in
+  let warmup_interrupted = ref false in
+  let frontier =
+    Harness.split_phase config.phase2 ~depth ~adapter ~test ~on_history:(fun _r ->
+        if cancelled () then begin
+          warmup_interrupted := true;
+          `Stop
+        end
+        else `Continue)
+  in
+  let with_metrics = Option.is_some metrics in
+  let run_partition ~cancelled:pool_cancelled (i, prefix) =
+    let t0 = now () in
+    let c =
+      p2_checker config ~observation ~cancelled:(fun () -> pool_cancelled () || cancelled ())
+    in
+    let stats =
+      Harness.run_phase_from config.phase2 ~prefix ~adapter ~test ~on_history:c.on_history
+    in
+    let jm =
+      if not with_metrics then None
+      else begin
+        let m = Metrics.create () in
+        add_explore_stats m ~prefix:"phase2" stats;
+        add_checker_counters m c;
+        Metrics.add m
+          (Fmt.str "explore.phase2.partition.%03d.executions" i)
+          stats.Explore.executions;
+        Some m
+      end
+    in
+    if Trace.enabled () then
+      Trace.emit "check.partition"
+        [
+          "index", Trace.Int i;
+          "executions", Trace.Int stats.Explore.executions;
+          "histories", Trace.Int !(c.histories);
+          "dt", Trace.Float (now () -. t0);
+        ];
+    {
+      pt_stats = stats;
+      pt_violation = !(c.found);
+      pt_interrupted = !(c.interrupted);
+      pt_histories = !(c.histories);
+      pt_metrics = jm;
+    }
+  in
+  let results =
+    if !warmup_interrupted then []
+    else
+      Pool.map_seq ~domains
+        ~stop:(fun p -> p.pt_violation <> None || p.pt_interrupted)
+        ~f:run_partition
+        (List.to_seq (List.mapi (fun i prefix -> i, prefix) frontier.Explore.prefixes))
+  in
+  let stats =
+    List.fold_left
+      (fun acc p -> Explore.merge_stats acc p.pt_stats)
+      frontier.Explore.warmup results
+  in
+  let histories = List.fold_left (fun acc p -> acc + p.pt_histories) 0 results in
+  let violation =
+    List.fold_left
+      (fun acc p -> match acc with Some _ -> acc | None -> p.pt_violation)
+      None results
+  in
+  let interrupted =
+    !warmup_interrupted || List.exists (fun p -> p.pt_interrupted) results
+  in
+  (match metrics with
+   | Some m ->
+     add_explore_stats m ~prefix:"phase2" frontier.Explore.warmup;
+     Metrics.add m "explore.phase2.partitions" (List.length frontier.Explore.prefixes);
+     Metrics.add m "explore.phase2.warmup_executions"
+       frontier.Explore.warmup.Explore.executions;
+     List.iter
+       (fun p -> Option.iter (fun jm -> Metrics.merge_into ~into:m jm) p.pt_metrics)
+       results
+   | None -> ());
+  (stats, histories, violation, interrupted)
 
 let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?observation adapter
     test =
@@ -160,73 +392,31 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?obse
     | None -> synthesize ~config ~cancelled ?metrics adapter test
   in
   match phase1_result with
-  | Error (v, phase1) ->
-    mincr metrics "check.violations";
-    { verdict = Error v; observation = Observation.create (); phase1; phase2 = None }
+  | Error (verdict, phase1) ->
+    (match verdict with
+     | Fail _ -> mincr metrics "check.violations"
+     | Cancelled -> mincr metrics "check.cancelled"
+     | Pass -> ());
+    { verdict; observation = Observation.create (); phase1; phase2 = None }
   | Ok (observation, phase1) ->
     (* Phase 2: enumerate concurrent executions, check against the
        observation set. *)
     let p2_start = now () in
-    let p2_violation = ref None in
-    let p2_histories = ref 0 in
-    let dedup_hits = ref 0 in
-    let witness_searches = ref 0 in
-    let witness_probes = ref 0 in
-    let stuck_checks = ref 0 in
-    let stuck_probes = ref 0 in
-    (* Distinct histories seen: schedules frequently reproduce the same
-       event sequence, and the witness verdict only depends on the history,
-       so each distinct one is checked once. *)
-    let seen : (Lineup_history.Event.t list * bool, unit) Hashtbl.t = Hashtbl.create 256 in
-    let p2_stats =
-      Harness.run_phase config.phase2 ~adapter ~test ~on_history:(fun r ->
-          if cancelled () then `Stop
-          else
-          match exception_of r.outcome with
-          | Some v ->
-            p2_violation := Some v;
-            `Stop
-          | None
-            when config.dedup_histories
-                 && Hashtbl.mem seen (History.events r.history, History.is_stuck r.history) ->
-            incr dedup_hits;
-            `Continue
-          | None ->
-            Hashtbl.replace seen (History.events r.history, History.is_stuck r.history) ();
-            incr p2_histories;
-            if History.is_stuck r.history then
-              if config.classic_only then `Continue
-              else begin
-                incr stuck_checks;
-                match Observation.linearizable_stuck ~probes:stuck_probes observation r.history with
-                | Ok () -> `Continue
-                | Error op ->
-                  p2_violation := Some (Stuck_unjustified (r.history, op));
-                  `Stop
-              end
-            else begin
-              incr witness_searches;
-              match Observation.find_witness_full ~probes:witness_probes observation r.history with
-              | Some _ -> `Continue
-              | None ->
-                p2_violation := Some (No_witness r.history);
-                `Stop
-            end)
+    let stats, histories, violation, interrupted =
+      match config.phase2_domains with
+      | None -> run_phase2_monolithic config ~cancelled ~metrics ~adapter ~test ~observation
+      | Some domains ->
+        run_phase2_frontier config ~domains ~cancelled ~metrics ~adapter ~test ~observation
     in
-    let phase2 = { stats = p2_stats; histories = !p2_histories; time = now () -. p2_start } in
-    (match metrics with
-     | Some m ->
-       add_explore_stats m ~prefix:"phase2" p2_stats;
-       Metrics.add m "check.phase2.histories_distinct" !p2_histories;
-       Metrics.add m "check.phase2.dedup_hits" !dedup_hits;
-       Metrics.add m "check.phase2.witness_searches" !witness_searches;
-       Metrics.add m "check.phase2.witness_probes" !witness_probes;
-       Metrics.add m "check.phase2.stuck_checks" !stuck_checks;
-       Metrics.add m "check.phase2.stuck_probes" !stuck_probes
-     | None -> ());
+    let phase2 = { stats; histories; time = now () -. p2_start } in
     trace_phase "phase2" phase2;
-    let verdict = match !p2_violation with Some v -> Error v | None -> Ok () in
+    let verdict =
+      match violation with
+      | Some v -> Fail v
+      | None -> if interrupted then Cancelled else Pass
+    in
     (match verdict with
-     | Ok () -> mincr metrics "check.passes"
-     | Error _ -> mincr metrics "check.violations");
+     | Pass -> mincr metrics "check.passes"
+     | Fail _ -> mincr metrics "check.violations"
+     | Cancelled -> mincr metrics "check.cancelled");
     { verdict; observation; phase1; phase2 = Some phase2 }

@@ -26,17 +26,34 @@ type config = {
       (** skip the witness search for histories already seen in phase 2
           (sound: the verdict is a function of the history); on by default,
           benchmarked by the dedup ablation *)
+  phase2_domains : int option;
+      (** [Some d]: fan phase 2 out over [d] domains by frontier splitting —
+          a sequential warm-up enumerates the decision prefixes of length
+          [phase2_frontier_depth], then each prefix subtree is explored as an
+          independent partition with its own adapter instances, dedup table
+          and metrics registry, merged deterministically in frontier order
+          (the verdict, statistics and metrics are independent of [d]; see
+          DESIGN.md). [None] (default): the single-domain exploration.
+          Note [Some 1] still uses the frontier path — per-partition dedup
+          tables make its metrics differ slightly from [None]. *)
+  phase2_frontier_depth : int;
+      (** decision-prefix length of the frontier warm-up (default 4); only
+          read when [phase2_domains] is set. Deeper frontiers give more,
+          smaller partitions: better load balance, more warm-up work. *)
 }
 
 val default_config : config
 
-(** [config_with ?preemption_bound ?max_executions ?classic_only ()] derives
-    a configuration from {!default_config}; [max_executions] bounds phase 2
-    only. *)
+(** [config_with ?preemption_bound ?max_executions ?classic_only
+    ?phase2_domains ?frontier_depth ()] derives a configuration from
+    {!default_config}; [max_executions] bounds phase 2 only (per partition
+    when the frontier path is active). *)
 val config_with :
   ?preemption_bound:int option ->
   ?max_executions:int option ->
   ?classic_only:bool ->
+  ?phase2_domains:int ->
+  ?frontier_depth:int ->
   unit ->
   config
 
@@ -53,26 +70,44 @@ type violation =
       (** an operation raised — not a linearizability verdict, but reported
           rather than swallowed *)
 
+(** The outcome of a check. [Cancelled] means the run was abandoned before
+    the exploration finished (the [cancelled] token fired) with no
+    violation found so far: {e no} verdict about [X] — in particular it is
+    not a pass. A violation found before the cancellation wins: the run
+    reports [Fail]. *)
+type verdict =
+  | Pass
+  | Fail of violation
+  | Cancelled
+
 type phase_report = {
   stats : Lineup_scheduler.Explore.stats;
   histories : int;  (** distinct histories observed *)
-  time : float;  (** wall-clock seconds *)
+  time : float;  (** monotonic seconds *)
 }
 
 type result = {
-  verdict : (unit, violation) Stdlib.result;
+  verdict : verdict;
   observation : Observation.t;
   phase1 : phase_report;
-  phase2 : phase_report option;  (** [None] when phase 1 already failed *)
+  phase2 : phase_report option;  (** [None] when phase 1 did not complete *)
 }
 
 val passed : result -> bool
+(** [Pass] only — a cancelled run never counts as passing. *)
+
+val failed : result -> bool
+(** [Fail _] only. *)
+
+val cancelled : result -> bool
+
 val pp_violation : Format.formatter -> violation -> unit
 
 (** [synthesize ?config adapter test] runs phase 1 only: enumerate the
     serial executions of [test] and build the observation set (the
-    synthesized sequential specification). [Error] carries the phase-1
-    violation (nondeterminism, or an operation exception).
+    synthesized sequential specification). [Error] carries [Fail v] (the
+    phase-1 violation: nondeterminism, or an operation exception) or
+    [Cancelled] — never [Pass] — together with the partial phase report.
 
     [metrics], here and in {!run}, receives the structured counters of the
     observability layer (see README.md for the key schema): exploration
@@ -89,7 +124,7 @@ val synthesize :
   ?metrics:Lineup_observe.Metrics.t ->
   Adapter.t ->
   Test_matrix.t ->
-  (Observation.t * phase_report, violation * phase_report) Stdlib.result
+  (Observation.t * phase_report, verdict * phase_report) Stdlib.result
 
 (** [run ?config ?cancelled ?observation adapter test] — the paper's
     [Check(X, m)]. When [observation] is supplied (e.g. loaded from an
@@ -99,10 +134,15 @@ val synthesize :
 
     [cancelled] (default: never) is polled at every execution boundary of
     both phases; once it returns [true] the exploration is abandoned at the
-    next boundary. A cancelled run returns a {e partial} result whose
-    verdict may be [Ok ()] despite undetected violations — it is meant for
-    the parallel work pool, which discards the results of cancelled
-    siblings, never for a verdict anyone relies on. *)
+    next boundary and the result's verdict is {!Cancelled} (unless a
+    violation was already found, which wins). Callers that discard
+    cancelled siblings — the parallel work pool — test {!failed} for their
+    stop condition; callers that surface the result must treat [Cancelled]
+    as "no verdict", never as a pass.
+
+    When [config.phase2_domains] is [Some d], phase 2 runs the frontier
+    path (see {!config}); the verdict, report and metrics are identical
+    for every [d]. *)
 val run :
   ?config:config ->
   ?cancelled:(unit -> bool) ->

@@ -66,6 +66,14 @@ let run_phase cfg ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
   Explore.explore cfg ~setup ~on_execution
 
+let split_phase cfg ~depth ~adapter ~test ~on_history =
+  let setup, on_execution = callbacks ~adapter ~test ~on_history in
+  Explore.split cfg ~depth ~setup ~on_execution
+
+let run_phase_from cfg ~prefix ~adapter ~test ~on_history =
+  let setup, on_execution = callbacks ~adapter ~test ~on_history in
+  Explore.explore_from cfg ~prefix ~setup ~on_execution
+
 let run_phase_random cfg ~rng ~executions ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
   Explore.random_walk cfg ~rng ~executions ~setup ~on_execution

@@ -26,6 +26,32 @@ val run_phase :
   on_history:(run_result -> [ `Continue | `Stop ]) ->
   Lineup_scheduler.Explore.stats
 
+(** [split_phase cfg ~depth ~adapter ~test ~on_history] runs the frontier
+    warm-up of {!Lineup_scheduler.Explore.split} under the test harness:
+    one full execution per depth-[depth] decision prefix, histories handed
+    to [on_history] (return [`Stop] to abandon the warm-up, e.g. on
+    cancellation). The returned prefixes partition the schedule tree; each
+    is meant to be explored by {!run_phase_from}, possibly on another
+    domain with its own adapter instances. *)
+val split_phase :
+  Lineup_scheduler.Explore.config ->
+  depth:int ->
+  adapter:Adapter.t ->
+  test:Test_matrix.t ->
+  on_history:(run_result -> [ `Continue | `Stop ]) ->
+  Lineup_scheduler.Explore.frontier
+
+(** [run_phase_from cfg ~prefix ~adapter ~test ~on_history] explores one
+    frontier partition: replays [prefix] frozen and enumerates the subtree
+    below it (see {!Lineup_scheduler.Explore.explore_from}). *)
+val run_phase_from :
+  Lineup_scheduler.Explore.config ->
+  prefix:Lineup_scheduler.Explore.prefix ->
+  adapter:Adapter.t ->
+  test:Test_matrix.t ->
+  on_history:(run_result -> [ `Continue | `Stop ]) ->
+  Lineup_scheduler.Explore.stats
+
 (** Like {!run_phase} but with uniformly random scheduling decisions instead
     of systematic enumeration — the stress-testing baseline ("simple runtime
     monitoring is not sufficient", §4). *)

@@ -102,13 +102,17 @@ let phase1 ?config ?metrics ~dir adapter test =
         ~root_attrs:[ "version", version; "fingerprint", fingerprint ]
         ~path obs;
       Ok (obs, false)
-    | Error (v, _report) -> Error v
+    | Error (Check.Fail v, _report) -> Error v
+    | Error ((Check.Pass | Check.Cancelled), _report) ->
+      (* no cancellation token is passed above, so synthesize cannot be
+         cancelled, and [Pass] never occurs on the error side *)
+      assert false
   end
 
-let check ?config ?metrics ~dir adapter test =
+let check ?config ?cancelled ?metrics ~dir adapter test =
   match phase1 ?config ?metrics ~dir adapter test with
-  | Ok (observation, _hit) -> Check.run ?config ?metrics ~observation adapter test
+  | Ok (observation, _hit) -> Check.run ?config ?cancelled ?metrics ~observation adapter test
   | Error _ ->
     (* a phase-1 violation (cached or fresh): run uncached so the result
        reflects the current implementation *)
-    Check.run ?config ?metrics adapter test
+    Check.run ?config ?cancelled ?metrics adapter test

@@ -40,6 +40,7 @@ val phase1 :
     phase-1 result cached in [dir]. *)
 val check :
   ?config:Check.config ->
+  ?cancelled:(unit -> bool) ->
   ?metrics:Lineup_observe.Metrics.t ->
   dir:string ->
   Adapter.t ->

@@ -21,7 +21,7 @@ let result_stats (r : Check.result) =
   | Some p2 -> Explore.merge_stats r.Check.phase1.Check.stats p2.Check.stats
 
 let report_of_outcomes outcomes =
-  let failing o = not (Check.passed o.result) in
+  let failing o = Check.failed o.result in
   {
     outcomes;
     passed = List.length (List.filter (fun o -> not (failing o)) outcomes);
@@ -45,7 +45,7 @@ let run_custom ?config ?(stop_at_first = false) ?metrics ~gen ~samples adapter =
        let test = gen () in
        let result = Check.run ?config ?metrics adapter test in
        outcomes := { test; result } :: !outcomes;
-       if (not (Check.passed result)) && stop_at_first then raise Exit
+       if Check.failed result && stop_at_first then raise Exit
      done
    with Exit -> ());
   let outcomes = List.rev !outcomes in
@@ -68,7 +68,7 @@ let run_parallel ?config ?(stop_at_first = false) ?metrics ?(init = []) ?(final 
   let with_metrics = Option.is_some metrics in
   let results =
     Pool.map_seq ~domains
-      ~stop:(fun (o, _) -> stop_at_first && not (Check.passed o.result))
+      ~stop:(fun (o, _) -> stop_at_first && Check.failed o.result)
       ~f:(fun ~cancelled i ->
         (* Sample i draws from its own PRNG stream derived from (seed, i),
            so the sample set is a function of the seed alone — the domain

@@ -13,38 +13,39 @@ let pp_history_section ppf h =
 
 let summary (r : Check.result) =
   match r.verdict with
-  | Ok () ->
+  | Check.Pass ->
     let p2 =
       match r.phase2 with
       | Some p -> Fmt.str ", %d concurrent executions" p.stats.Explore.executions
       | None -> ""
     in
     Fmt.str "PASS (%d serial histories%s)" r.phase1.histories p2
-  | Error (Check.Nondeterministic _) -> "FAIL: nondeterministic serial behavior"
-  | Error (Check.No_witness _) -> "FAIL: non-linearizable history"
-  | Error (Check.Stuck_unjustified _) -> "FAIL: unjustified blocking (stuck history)"
-  | Error (Check.Thread_exception _) -> "FAIL: operation raised an exception"
+  | Check.Cancelled -> "CANCELLED: check incomplete, no verdict"
+  | Check.Fail (Check.Nondeterministic _) -> "FAIL: nondeterministic serial behavior"
+  | Check.Fail (Check.No_witness _) -> "FAIL: non-linearizable history"
+  | Check.Fail (Check.Stuck_unjustified _) -> "FAIL: unjustified blocking (stuck history)"
+  | Check.Fail (Check.Thread_exception _) -> "FAIL: operation raised an exception"
 
 let pp_check_result ?(times = false) ppf ~(adapter : Adapter.t) ~test (r : Check.result) =
   let pp_time ppf t = if times then Fmt.pf ppf " in %.3fs" t in
   Fmt.pf ppf "@[<v>Line-Up check of %s@,@,Test:@,%a@,@," adapter.name Test_matrix.pp test;
   (match r.verdict with
-   | Ok () -> Fmt.pf ppf "Verdict: %s@," (summary r)
-   | Error (Check.Nondeterministic (s1, s2)) ->
+   | Check.Pass | Check.Cancelled -> Fmt.pf ppf "Verdict: %s@," (summary r)
+   | Check.Fail (Check.Nondeterministic (s1, s2)) ->
      Fmt.pf ppf
        "Line-Up encountered nondeterministic serial behavior;@,\
         no deterministic sequential specification exists.@,\
         Diverging serial histories:@,  %a@,  %a@,"
        Serial_history.pp s1 Serial_history.pp s2
-   | Error (Check.No_witness h) ->
+   | Check.Fail (Check.No_witness h) ->
      Fmt.pf ppf
        "Line-Up encountered a non-linearizable history:@,%a" pp_history_section h
-   | Error (Check.Stuck_unjustified (h, op)) ->
+   | Check.Fail (Check.Stuck_unjustified (h, op)) ->
      Fmt.pf ppf
        "Line-Up encountered a stuck history whose pending operation %a@,\
         has no serial justification (erroneous blocking):@,%a"
        Op.pp op pp_history_section h
-   | Error (Check.Thread_exception { tid; message }) ->
+   | Check.Fail (Check.Thread_exception { tid; message }) ->
      Fmt.pf ppf "Operation on thread %d raised: %s@," tid message);
   Fmt.pf ppf "@,Phase 1: %d serial histories%a (%a)@," r.phase1.histories pp_time r.phase1.time
     Explore.pp_stats r.phase1.stats;
@@ -52,7 +53,7 @@ let pp_check_result ?(times = false) ppf ~(adapter : Adapter.t) ~test (r : Check
    | Some p ->
      Fmt.pf ppf "Phase 2: %d concurrent histories%a (%a)@," p.histories pp_time p.time
        Explore.pp_stats p.stats
-   | None -> Fmt.pf ppf "Phase 2: not run (phase 1 failed)@,");
+   | None -> Fmt.pf ppf "Phase 2: not run (phase 1 did not complete)@,");
   Fmt.pf ppf "@]"
 
 let check_result_to_string ?times ~adapter ~test r =

@@ -1,0 +1,3 @@
+external now : unit -> float = "lineup_monotonic_now"
+
+let elapsed_since t0 = now () -. t0

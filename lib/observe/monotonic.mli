@@ -1,0 +1,20 @@
+(** A monotonic clock for durations.
+
+    [Unix.gettimeofday] is wall-clock time: it jumps when NTP slews or
+    steps the system clock, so phase timings and trace [dt] fields derived
+    from it can come out negative or wildly inflated. Everything in the
+    checker that measures a {e duration} goes through this module instead,
+    which reads [clock_gettime(CLOCK_MONOTONIC)] via a tiny C stub (no
+    external dependency; the [mtime] package is deliberately not required).
+
+    The absolute value is meaningless (seconds since an arbitrary epoch,
+    typically boot); only differences are. Wall-clock timestamps that are
+    meant to be correlated with the outside world should still use
+    [Unix.gettimeofday]. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed epoch; strictly unaffected by system
+    clock adjustments. Differences of two [now] values are elapsed seconds. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] = [now () -. t0]. *)

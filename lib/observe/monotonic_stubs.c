@@ -1,0 +1,17 @@
+/* clock_gettime(CLOCK_MONOTONIC) as an OCaml float, so durations are
+   immune to NTP slews/steps of the wall clock. POSIX-only by design: the
+   project targets Linux/macOS CI; both have had CLOCK_MONOTONIC for over a
+   decade. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value lineup_monotonic_now(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9));
+}

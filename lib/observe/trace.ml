@@ -21,7 +21,7 @@ let close () =
 let enable ~path =
   close ();
   let oc = open_out path in
-  Atomic.set state (Some { oc; mutex = Mutex.create (); t0 = Unix.gettimeofday () })
+  Atomic.set state (Some { oc; mutex = Mutex.create (); t0 = Monotonic.now () })
 
 let add_field buf (k, v) =
   Buffer.add_char buf ',';
@@ -37,7 +37,7 @@ let emit ev fields =
   match Atomic.get state with
   | None -> ()
   | Some s ->
-    let t = Unix.gettimeofday () -. s.t0 in
+    let t = Monotonic.elapsed_since s.t0 in
     let buf = Buffer.create 128 in
     Buffer.add_string buf (Printf.sprintf "{\"t\":%.6f,\"ev\":" t);
     Buffer.add_string buf (Metrics.json_string ev);

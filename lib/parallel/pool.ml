@@ -129,20 +129,21 @@ let worker st ~stop ~f () =
       (* Jobs past a stopping index are skipped outright; their results
          would be discarded anyway. *)
       if Atomic.get st.stop_at >= i then begin
-        let t0 = Unix.gettimeofday () in
+        (* monotonic, not wall-clock: job durations must survive NTP steps *)
+        let t0 = Lineup_observe.Monotonic.now () in
         match f ~cancelled:(fun () -> Atomic.get st.stop_at < i) x with
         | r ->
           results := (i, Ok r) :: !results;
           trace_job_done ~index:i
             ~kept:(Atomic.get st.stop_at >= i)
-            ~dt:(Unix.gettimeofday () -. t0);
+            ~dt:(Lineup_observe.Monotonic.elapsed_since t0);
           if stop r then begin
             lower_stop_at st i;
             trace_stop ~index:i
           end
         | exception e ->
           results := (i, Error e) :: !results;
-          trace_job_done ~index:i ~kept:true ~dt:(Unix.gettimeofday () -. t0);
+          trace_job_done ~index:i ~kept:true ~dt:(Lineup_observe.Monotonic.elapsed_since t0);
           lower_stop_at st i;
           trace_stop ~index:i
       end

@@ -42,6 +42,7 @@ type stats = {
   preemptions_spent : int;
   yields : int;
   choice_points : int;
+  exact_bound_skips : int;
   complete : bool;
 }
 
@@ -64,6 +65,7 @@ let empty_stats =
     preemptions_spent = 0;
     yields = 0;
     choice_points = 0;
+    exact_bound_skips = 0;
     complete = true;
   }
 
@@ -79,6 +81,7 @@ let merge_stats a b =
     preemptions_spent = a.preemptions_spent + b.preemptions_spent;
     yields = a.yields + b.yields;
     choice_points = a.choice_points + b.choice_points;
+    exact_bound_skips = a.exact_bound_skips + b.exact_bound_skips;
     complete = a.complete && b.complete;
   }
 
@@ -433,7 +436,10 @@ let trace_execution ~kind ~depth (o : exec_outcome) =
         "depth", Lineup_observe.Trace.Int depth;
       ]
 
-let explore cfg ~setup ~on_execution =
+(* The general DFS driver: start replaying from [replay0] (its decisions
+   must carry empty [untried] lists when they are meant to stay frozen, as
+   {!explore_from}'s thawed prefixes do) and enumerate the subtree below. *)
+let explore_replay cfg ~replay0 ~setup ~on_execution =
   let executions = ref 0 in
   let total_steps = ref 0 in
   let deadlocks = ref 0 in
@@ -445,7 +451,7 @@ let explore cfg ~setup ~on_execution =
   let yields = ref 0 in
   let choice_points = ref 0 in
   let complete = ref true in
-  let replay = ref [] in
+  let replay = ref replay0 in
   let continue_ = ref true in
   while !continue_ do
     (* [last_running] mirrors the engine's notion for the decider's
@@ -506,7 +512,144 @@ let explore cfg ~setup ~on_execution =
     preemptions_spent = !preempt_spent;
     yields = !yields;
     choice_points = !choice_points;
+    exact_bound_skips = 0;
     complete = !complete;
+  }
+
+let explore cfg ~setup ~on_execution = explore_replay cfg ~replay0:[] ~setup ~on_execution
+
+(* ------------------------------------------------------------------ *)
+(* Frontier splitting: depth-k prefix partitions for intra-check         *)
+(* parallelism                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type choice =
+  | Sched_choice of int
+  | Value_choice of { chosen : int; arity : int }
+
+type prefix = choice list
+
+type frontier = {
+  prefixes : prefix list;
+  warmup : stats;
+}
+
+let freeze_decisions ds =
+  List.map
+    (function
+      | Thread t -> Sched_choice t.chosen
+      | Value v -> Value_choice { chosen = v.chosen; arity = v.arity })
+    ds
+
+(* Thawed prefixes carry no untried alternatives: [next_prefix] can never
+   flip a prefix decision, which is what confines {!explore_from} to the
+   partition's subtree. *)
+let thaw_prefix p =
+  List.map
+    (function
+      | Sched_choice chosen -> Thread { chosen; untried = [] }
+      | Value_choice { chosen; arity } -> Value { chosen; untried = []; arity })
+    p
+
+let take_at_most n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let explore_from cfg ~prefix ~setup ~on_execution =
+  explore_replay cfg ~replay0:(thaw_prefix prefix) ~setup ~on_execution
+
+let split cfg ~depth ~setup ~on_execution =
+  if depth < 1 then invalid_arg "Explore.split: depth must be >= 1";
+  (* The warm-up is the DFS of {!explore} with backtracking restricted to
+     the first [depth] decisions: each execution realizes exactly one
+     depth-<=[depth] decision prefix, and mutating only those decisions
+     enumerates every such prefix once, in canonical DFS order. Decisions
+     past the cut are executed (an execution cannot stop mid-flight) but
+     their alternatives are left to the per-partition exploration. *)
+  let executions = ref 0 in
+  let total_steps = ref 0 in
+  let deadlocks = ref 0 in
+  let divergences = ref 0 in
+  let serial_stucks = ref 0 in
+  let max_depth_ = ref 0 in
+  let pruned = ref 0 in
+  let preempt_spent = ref 0 in
+  let yields = ref 0 in
+  let choice_points = ref 0 in
+  let complete = ref true in
+  let prefixes = ref [] in
+  let replay = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let trace = ref [] in
+    let last_running = ref None in
+    let base = dfs_decider ~replay:!replay ~trace ~last_running in
+    let decider =
+      {
+        base with
+        decide_thread =
+          (fun ~free ~costly ->
+            let c = base.decide_thread ~free ~costly in
+            last_running := Some c;
+            c);
+      }
+    in
+    let outcome = run_one cfg ~decider ~pruned ~setup in
+    incr executions;
+    total_steps := !total_steps + outcome.steps;
+    preempt_spent := !preempt_spent + outcome.preemptions;
+    yields := !yields + outcome.yields;
+    choice_points := !choice_points + outcome.choice_points;
+    (match outcome.exec_end with
+     | Deadlock _ -> incr deadlocks
+     | Diverged -> incr divergences
+     | Serial_stuck _ -> incr serial_stucks
+     | All_finished -> ());
+    let tr = List.rev !trace in
+    let cut = take_at_most depth tr in
+    let d = List.length tr in
+    if d > !max_depth_ then max_depth_ := d;
+    trace_execution ~kind:"split-warmup" ~depth:d outcome;
+    (* Freeze before [next_prefix] mutates the shared decision records. *)
+    prefixes := freeze_decisions cut :: !prefixes;
+    (match on_execution outcome with
+     | `Stop ->
+       continue_ := false;
+       complete := false
+     | `Continue -> ());
+    if !continue_ then begin
+      match next_prefix (List.rev cut) with
+      | None -> continue_ := false
+      | Some p -> (
+        replay := p;
+        match cfg.max_executions with
+        | Some cap when !executions >= cap ->
+          continue_ := false;
+          complete := false
+        | Some _ | None -> ())
+    end
+  done;
+  {
+    prefixes = List.rev !prefixes;
+    warmup =
+      {
+        executions = !executions;
+        total_steps = !total_steps;
+        deadlocks = !deadlocks;
+        divergences = !divergences;
+        serial_stucks = !serial_stucks;
+        max_depth = !max_depth_;
+        pruned_choices = !pruned;
+        preemptions_spent = !preempt_spent;
+        yields = !yields;
+        choice_points = !choice_points;
+        exact_bound_skips = 0;
+        complete = !complete;
+      };
   }
 
 let explore_iterative cfg ~max_bound ~setup ~on_execution =
@@ -514,18 +657,29 @@ let explore_iterative cfg ~max_bound ~setup ~on_execution =
   let rec go bound acc =
     if bound > max_bound || Option.is_some !stopped_at then List.rev acc
     else begin
+      let skips = ref 0 in
       let stats =
         explore
           { cfg with preemption_bound = Some bound }
           ~setup
           ~on_execution:(fun outcome ->
-            match on_execution outcome with
-            | `Stop ->
-              stopped_at := Some bound;
-              `Stop
-            | `Continue -> `Continue)
+            (* Exact-bound admission: a schedule spending c < bound
+               preemptions was already admitted when the sweep ran at bound
+               c. The bound-b tree necessarily re-executes it on the way to
+               the new leaves, but re-admitting it would hand every history
+               to the caller once per bound level. *)
+            if bound > 0 && outcome.preemptions < bound then begin
+              incr skips;
+              `Continue
+            end
+            else
+              match on_execution outcome with
+              | `Stop ->
+                stopped_at := Some bound;
+                `Stop
+              | `Continue -> `Continue)
       in
-      go (bound + 1) (stats :: acc)
+      go (bound + 1) ({ stats with exact_bound_skips = !skips } :: acc)
     end
   in
   let all = go 0 [] in
@@ -583,5 +737,6 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     preemptions_spent = !preempt_spent;
     yields = !yields;
     choice_points = !choice_points;
+    exact_bound_skips = 0;
     complete = false;
   }

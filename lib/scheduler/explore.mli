@@ -79,6 +79,11 @@ type stats = {
   preemptions_spent : int;  (** preemptions consumed, summed over executions *)
   yields : int;  (** fairness yields observed, summed over executions *)
   choice_points : int;  (** branching scheduling decisions, summed *)
+  exact_bound_skips : int;
+      (** executions run but not admitted by {!explore_iterative}'s
+          exact-bound filter (they spent fewer preemptions than the current
+          bound and were already admitted at that lower bound); always [0]
+          outside the iterative sweep *)
   complete : bool;
       (** the schedule space was exhausted (no budget cut, no early stop) *)
 }
@@ -107,6 +112,72 @@ val explore :
   on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
   stats
 
+(** {1 Frontier splitting}
+
+    Intra-check parallelism partitions one schedule tree across workers by
+    its decision-prefix frontier: a shallow sequential warm-up ({!split})
+    enumerates every realizable decision prefix of length at most [depth]
+    — the {e frontier} — and each partition is then explored independently
+    ({!explore_from}) by replaying its prefix and enumerating the subtree
+    below it, on any domain. Because a prefix pins the first [depth]
+    decisions and the program under test is deterministic given its
+    decisions, the subtrees are disjoint and their union is exactly the
+    schedule set {!explore} enumerates: same execution count, same
+    histories, in the same canonical order when partition results are
+    concatenated in frontier order (P-compositionality in the sense of
+    Horn & Kroening, applied to the schedule space). *)
+
+(** One recorded scheduling decision, frozen for transport across domains:
+    the thread chosen at a scheduling point, or the value chosen at a
+    demonic [Choose] point (with its arity, revalidated on replay). *)
+type choice =
+  | Sched_choice of int
+  | Value_choice of { chosen : int; arity : int }
+
+(** A decision-trace prefix in execution order, identifying one partition
+    of the schedule tree. Immutable and self-contained: safe to hand to
+    another domain, or to serialize. *)
+type prefix = choice list
+
+type frontier = {
+  prefixes : prefix list;
+      (** the partitions, in canonical DFS order — concatenating each
+          partition's executions in this order reproduces {!explore}'s
+          execution order exactly *)
+  warmup : stats;
+      (** statistics of the warm-up executions (one per partition);
+          [warmup.complete = false] means the warm-up was stopped early
+          (budget or [`Stop]) and [prefixes] covers only part of the tree *)
+}
+
+(** [split cfg ~depth ~setup ~on_execution] runs the depth-[depth] warm-up
+    and returns the frontier. Each warm-up execution runs to completion
+    (an execution cannot be abandoned mid-flight) and realizes exactly one
+    frontier prefix; [on_execution] is called on each — return [`Stop] to
+    abandon the warm-up (e.g. on cancellation). Executions whose full
+    decision trace is shorter than [depth] form singleton partitions.
+    [cfg.max_executions] caps the number of partitions. *)
+val split :
+  config ->
+  depth:int ->
+  setup:(unit -> (unit -> unit) array) ->
+  on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  frontier
+
+(** [explore_from cfg ~prefix ~setup ~on_execution] explores exactly the
+    partition identified by [prefix]: the first [List.length prefix]
+    decisions are replayed frozen (never backtracked), everything below is
+    enumerated depth-first as {!explore} would. [stats.complete] refers to
+    the partition's subtree. Raises [Invalid_argument] if the prefix does
+    not replay against the program (wrong arity or unschedulable thread —
+    a prefix is only meaningful for the [setup] that produced it). *)
+val explore_from :
+  config ->
+  prefix:prefix ->
+  setup:(unit -> (unit -> unit) array) ->
+  on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  stats
+
 (** [explore_iterative cfg ~max_bound ~setup ~on_execution] — iterative
     context bounding, the search order CHESS actually uses (Musuvathi &
     Qadeer, PLDI 2007): explore the schedule space exhaustively at
@@ -114,8 +185,15 @@ val explore :
     early when [on_execution] returns [`Stop]. Returns the per-bound
     statistics in order together with the bound at which the exploration
     stopped, if it did. [cfg.preemption_bound] is ignored; [max_executions]
-    applies per bound. This simple variant re-explores lower-bound schedules
-    at each level — the classic trade-off for implementation simplicity. *)
+    applies per bound.
+
+    The tree at bound b is a superset of the tree at bound b-1, so the
+    sweep necessarily {e re-executes} lower-bound schedules at each level;
+    it does {e not} re-admit them: at bound b > 0, [on_execution] is called
+    only for executions that spend exactly b preemptions (each schedule is
+    admitted exactly once across the sweep, at the bound equal to its
+    preemption count). Executions filtered out are counted in the per-bound
+    [stats.exact_bound_skips]. *)
 val explore_iterative :
   config ->
   max_bound:int ->

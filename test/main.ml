@@ -18,6 +18,7 @@ let () =
       "random-auto", Test_random_auto.tests;
       "parallel", Test_parallel.tests;
       "extensions", Test_extensions.tests;
+      "frontier", Test_frontier.tests;
       "observe", Test_observe.tests;
       "checkers", Test_checkers.tests;
       "tso", Test_tso.tests;

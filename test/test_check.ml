@@ -23,7 +23,7 @@ let suite =
     test "counter1 fails with a non-witnessed history (§2.2.1)" (fun () ->
         let r = run Conc.Counters.buggy_unlocked [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ] in
         match r.Check.verdict with
-        | Error (Check.No_witness h) ->
+        | Check.Fail (Check.No_witness h) ->
           (* cross-validate with the explicit-spec checker: the violating
              history must also be refuted by the counter specification *)
           Alcotest.(check bool) "WGL agrees" false (Lin_check.check Specs.counter h)
@@ -50,7 +50,7 @@ let suite =
             ]
         in
         match r.Check.verdict with
-        | Error (Check.No_witness h) ->
+        | Check.Fail (Check.No_witness h) ->
           (* the violating history shows a TryDequeue failing although the
              queue was provably non-empty; the explicit queue spec agrees *)
           Alcotest.(check bool) "WGL agrees" false (Lin_check.check Specs.queue h)
@@ -59,7 +59,7 @@ let suite =
         let cols = [ [ inv "Wait" ]; [ inv "Set" ] ] in
         let generalized = run Conc.Manual_reset_event.lost_signal cols in
         (match generalized.Check.verdict with
-         | Error (Check.Stuck_unjustified _) -> ()
+         | Check.Fail (Check.Stuck_unjustified _) -> ()
          | _ -> Alcotest.failf "expected stuck violation, got %s" (Report.summary generalized));
         let classic =
           run ~config:(Check.config_with ~classic_only:true ()) Conc.Manual_reset_event.lost_signal
@@ -72,7 +72,7 @@ let suite =
             [ [ inv "Cancel" ]; [ inv "IsCancellationRequested" ] ]
         in
         match r.Check.verdict with
-        | Error (Check.Nondeterministic (s1, s2)) ->
+        | Check.Fail (Check.Nondeterministic (s1, s2)) ->
           Alcotest.(check bool) "distinct" false (Lineup_history.Serial_history.equal s1 s2);
           Alcotest.(check (option Alcotest.reject)) "phase 2 skipped" None
             (Option.map ignore r.Check.phase2)
@@ -80,7 +80,7 @@ let suite =
     test "barrier: nonlinearizable by absence of full serial histories" (fun () ->
         let r = run Conc.Barrier.adapter [ [ inv "SignalAndWait" ]; [ inv "SignalAndWait" ] ] in
         (match r.Check.verdict with
-         | Error (Check.No_witness _) -> ()
+         | Check.Fail (Check.No_witness _) -> ()
          | _ -> Alcotest.failf "expected no-witness, got %s" (Report.summary r));
         (* phase 1 must have recorded only stuck serial histories *)
         Alcotest.(check int) "no full serial histories" 0
@@ -96,7 +96,7 @@ let suite =
            practice *)
         let r = run Conc.Semaphore_slim.pre [ [ inv "Release" ]; [ inv "Release" ] ] in
         match r.Check.verdict with
-        | Error (Check.No_witness h) ->
+        | Check.Fail (Check.No_witness h) ->
           Alcotest.(check bool) "spec agrees" false
             (Lin_check.check (Specs.semaphore ~initial:0) h)
         | _ -> Alcotest.failf "unexpected verdict: %s" (Report.summary r));
@@ -107,7 +107,7 @@ let suite =
         in
         let r = run adapter [ [ inv "Boom" ] ] in
         match r.Check.verdict with
-        | Error (Check.Thread_exception _) -> ()
+        | Check.Fail (Check.Thread_exception _) -> ()
         | _ -> Alcotest.failf "expected exception report, got %s" (Report.summary r));
     test "config_with applies preemption bound and caps" (fun () ->
         let config = Check.config_with ~preemption_bound:(Some 0) ~max_executions:(Some 5) () in

@@ -204,13 +204,13 @@ let completeness_tests =
       test (Fmt.str "%s: the reported violation is refuted by the oracle" b.name) (fun () ->
           let r = Check.run b.adapter (Test_matrix.make b.columns) in
           match r.Check.verdict with
-          | Error (Check.No_witness h) ->
+          | Check.Fail (Check.No_witness h) ->
             Alcotest.(check bool) "oracle refutes" false (Lin_check.check b.spec h)
-          | Error (Check.Stuck_unjustified (h, _)) ->
+          | Check.Fail (Check.Stuck_unjustified (h, _)) ->
             Alcotest.(check bool) "oracle refutes" false
               (Result.is_ok (Lin_check.check_stuck b.spec h))
-          | Error v -> Alcotest.failf "unexpected violation: %a" Check.pp_violation v
-          | Ok () -> Alcotest.fail "expected a violation"))
+          | Check.Fail v -> Alcotest.failf "unexpected violation: %a" Check.pp_violation v
+          | Check.Pass | Check.Cancelled -> Alcotest.fail "expected a violation"))
     buggy_pairs
 
 let tests = correctness_props @ agreement_props @ completeness_tests

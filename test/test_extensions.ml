@@ -33,7 +33,7 @@ let suite =
     test "synthesize reports nondeterminism" (fun () ->
         let test = Test_matrix.make [ [ inv "Cancel"; inv "IsCancellationRequested" ] ] in
         match Check.synthesize Conc.Cancellation_token_source.adapter test with
-        | Error (Check.Nondeterministic _, _) -> ()
+        | Error (Check.Fail (Check.Nondeterministic _), _) -> ()
         | Error _ -> Alcotest.fail "wrong violation"
         | Ok _ -> Alcotest.fail "expected nondeterminism");
     test "run with a supplied observation skips phase 1" (fun () ->
@@ -278,7 +278,7 @@ let suite =
             (Test_matrix.make [ [ inv "EnterRead" ]; [ inv "EnterRead"; inv "CurrentReadCount" ] ])
         in
         match r.Check.verdict with
-        | Error (Check.No_witness _) -> ()
+        | Check.Fail (Check.No_witness _) -> ()
         | _ -> Alcotest.fail "expected a wrong-value violation");
     test "rwlock: exits without holds fail sequentially" (fun () ->
         let seq invs =
@@ -312,7 +312,7 @@ let suite =
                [ [ inv_int "Remove" 10 ]; [ inv_int "Add" 15; inv_int "Contains" 15 ] ])
         in
         match r.Check.verdict with
-        | Error (Check.No_witness _) -> ()
+        | Check.Fail (Check.No_witness _) -> ()
         | _ -> Alcotest.fail "expected the lost-insert violation");
     test "segment queue: FIFO across segment boundaries" (fun () ->
         let seq invs =
@@ -385,7 +385,7 @@ let suite =
             (Test_matrix.make [ [ inv_int "Enqueue" 200 ]; [ inv "TryDequeue" ] ])
         in
         match r.Check.verdict with
-        | Error (Check.No_witness _) -> ()
+        | Check.Fail (Check.No_witness _) -> ()
         | _ -> Alcotest.failf "expected a violation, got %s" (Report.summary r));
     test "lazy list: sequential set semantics" (fun () ->
         let seq invs =

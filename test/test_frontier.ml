@@ -1,0 +1,224 @@
+(* Frontier splitting (intra-check parallelism) and the cancelled-run
+   verdict.
+
+   The load-bearing property: for any program and any depth, the frontier
+   partitions of Explore.split, explored in frontier order by
+   Explore.explore_from, reproduce the sequential exploration exactly —
+   same execution count, same executions in the same canonical order. On
+   top of that sit Check's guarantees: `phase2_domains = Some j` produces
+   byte-identical reports and metrics for every j, and a cancelled run
+   reports Cancelled, never a pass. *)
+
+open Helpers
+module Explore = Lineup_scheduler.Explore
+module Var = Lineup_runtime.Shared_var
+module Metrics = Lineup_observe.Metrics
+module Conc = Lineup_conc
+open Lineup
+
+let unbounded = { Explore.default_config with preemption_bound = None }
+
+(* k threads, each performing n accesses to a shared variable. *)
+let accesses_program ~threads ~accesses () =
+  let v = Var.make 0 in
+  Array.init threads (fun _ () ->
+      for _ = 1 to accesses do
+        ignore (Var.read v)
+      done)
+
+(* A fingerprint of one execution, strong enough to detect a changed
+   schedule: outcome kind plus all the deterministic counters. *)
+let fingerprint (o : Explore.exec_outcome) =
+  let kind =
+    match o.Explore.exec_end with
+    | Explore.All_finished -> 0
+    | Explore.Deadlock _ -> 1
+    | Explore.Serial_stuck _ -> 2
+    | Explore.Diverged -> 3
+  in
+  kind, o.Explore.steps, o.Explore.preemptions, o.Explore.choice_points
+
+let sequential_fingerprints config setup =
+  let fps = ref [] in
+  let stats =
+    Explore.explore config ~setup ~on_execution:(fun o ->
+        fps := fingerprint o :: !fps;
+        `Continue)
+  in
+  List.rev !fps, stats
+
+let frontier_fingerprints config ~depth setup =
+  let frontier =
+    Explore.split config ~depth ~setup ~on_execution:(fun _ -> `Continue)
+  in
+  let fps =
+    List.concat_map
+      (fun prefix ->
+        let fps = ref [] in
+        let _ =
+          Explore.explore_from config ~prefix ~setup ~on_execution:(fun o ->
+              fps := fingerprint o :: !fps;
+              `Continue)
+        in
+        List.rev !fps)
+      frontier.Explore.prefixes
+  in
+  fps, frontier
+
+let union_case ~config ~name setup =
+  test name (fun () ->
+      let seq, _ = sequential_fingerprints config setup in
+      List.iter
+        (fun depth ->
+          let par, frontier = frontier_fingerprints config ~depth setup in
+          Alcotest.(check int)
+            (Fmt.str "depth %d: one warm-up execution per partition" depth)
+            (List.length frontier.Explore.prefixes)
+            frontier.Explore.warmup.Explore.executions;
+          Alcotest.(check bool)
+            (Fmt.str "depth %d: partition union == sequential schedule set" depth)
+            true (seq = par))
+        [ 1; 2; 3; 4; 8 ])
+
+(* ---- harness level: partitioned histories == sequential histories ---- *)
+
+let harness_histories config ~adapter ~test =
+  let acc = ref [] in
+  let _ =
+    Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
+        acc := (History.events r.history, History.is_stuck r.history) :: !acc;
+        `Continue)
+  in
+  List.rev !acc
+
+let harness_frontier_histories config ~depth ~adapter ~test =
+  let frontier =
+    Harness.split_phase config ~depth ~adapter ~test ~on_history:(fun _ -> `Continue)
+  in
+  List.concat_map
+    (fun prefix ->
+      let acc = ref [] in
+      let _ =
+        Harness.run_phase_from config ~prefix ~adapter ~test ~on_history:(fun r ->
+            acc := (History.events r.history, History.is_stuck r.history) :: !acc;
+            `Continue)
+      in
+      List.rev !acc)
+    frontier.Explore.prefixes
+
+let history_union_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"random tests: frontier histories == sequential histories (order included)"
+       ~count:25
+       (QCheck.make
+          (QCheck.Gen.map
+             (fun seed ->
+               let rng = Random.State.make [| seed; 7 |] in
+               Test_matrix.random ~rng
+                 ~invocations:Conc.Concurrent_queue.correct.Adapter.universe ~rows:2 ~cols:2 ())
+             QCheck.Gen.small_signed_int))
+       (fun test ->
+         let adapter = Conc.Concurrent_queue.correct in
+         let config = Explore.default_config in
+         let seq = harness_histories config ~adapter ~test in
+         List.for_all
+           (fun depth -> harness_frontier_histories config ~depth ~adapter ~test = seq)
+           [ 2; 4 ]))
+
+(* ---- Check-level determinism and the Cancelled verdict ---- *)
+
+let stable_result ~adapter ~test r m =
+  Report.check_result_to_string ~adapter ~test r ^ "\n" ^ Metrics.to_json m
+
+let check_with_domains ~adapter ~test ?cancelled domains =
+  let config = { Check.default_config with phase2_domains = domains } in
+  let m = Metrics.create () in
+  let r = Check.run ~config ?cancelled ~metrics:m adapter test in
+  r, stable_result ~adapter ~test r m
+
+(* Fires after [n] polls; deterministic, so both paths can be compared. *)
+let cancel_after n =
+  let polls = ref 0 in
+  fun () ->
+    incr polls;
+    !polls > n
+
+let suite =
+  [
+    union_case ~config:unbounded ~name:"frontier union: 2 threads x 3 accesses, unbounded"
+      (accesses_program ~threads:2 ~accesses:3);
+    union_case ~config:unbounded ~name:"frontier union: 3 threads x 2 accesses, unbounded"
+      (accesses_program ~threads:3 ~accesses:2);
+    union_case ~config:Explore.default_config
+      ~name:"frontier union survives preemption bounding (pb=2)"
+      (accesses_program ~threads:3 ~accesses:2);
+    test "split rejects depth < 1" (fun () ->
+        Alcotest.check_raises "invalid depth"
+          (Invalid_argument "Explore.split: depth must be >= 1") (fun () ->
+            ignore
+              (Explore.split unbounded ~depth:0
+                 ~setup:(accesses_program ~threads:2 ~accesses:1)
+                 ~on_execution:(fun _ -> `Continue))));
+    history_union_prop;
+    test "check -j: verdict, report and metrics identical for j=1 and j=4" (fun () ->
+        let adapter = Conc.Manual_reset_event.lost_signal in
+        let test = Test_matrix.make [ [ inv "Wait" ]; [ inv "Set" ] ] in
+        let r1, s1 = check_with_domains ~adapter ~test (Some 1) in
+        let r4, s4 = check_with_domains ~adapter ~test (Some 4) in
+        Alcotest.(check bool) "both fail" true (Check.failed r1 && Check.failed r4);
+        Alcotest.(check string) "byte-identical" s1 s4);
+    test "check -j on a correct class: identical for j=1 and j=4" (fun () ->
+        let adapter = Conc.Counters.correct in
+        let test = Test_matrix.make [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ] in
+        let r1, s1 = check_with_domains ~adapter ~test (Some 1) in
+        let r4, s4 = check_with_domains ~adapter ~test (Some 4) in
+        Alcotest.(check bool) "both pass" true (Check.passed r1 && Check.passed r4);
+        Alcotest.(check string) "byte-identical" s1 s4);
+    test "cancelled run reports Cancelled, not a pass (monolithic)" (fun () ->
+        let adapter = Conc.Counters.correct in
+        let test = Test_matrix.make [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ] in
+        let r = Check.run ~cancelled:(cancel_after 5) adapter test in
+        Alcotest.(check bool) "cancelled" true (Check.cancelled r);
+        Alcotest.(check bool) "not passed" false (Check.passed r);
+        Alcotest.(check bool) "not failed" false (Check.failed r));
+    test "cancelled run reports Cancelled, not a pass (frontier)" (fun () ->
+        let adapter = Conc.Counters.correct in
+        let test = Test_matrix.make [ [ inv "Inc"; inv "Get" ]; [ inv "Inc" ] ] in
+        let config = { Check.default_config with phase2_domains = Some 2 } in
+        let r = Check.run ~config ~cancelled:(cancel_after 5) adapter test in
+        Alcotest.(check bool) "cancelled" true (Check.cancelled r);
+        Alcotest.(check bool) "not passed" false (Check.passed r));
+    test "cancellation during phase 1 cancels synthesize" (fun () ->
+        let adapter = Conc.Counters.correct in
+        let test = Test_matrix.make [ [ inv "Inc" ]; [ inv "Inc" ] ] in
+        match Check.synthesize ~cancelled:(fun () -> true) adapter test with
+        | Error (Check.Cancelled, _) -> ()
+        | Error ((Check.Pass | Check.Fail _), _) -> Alcotest.fail "expected Cancelled"
+        | Ok _ -> Alcotest.fail "expected cancellation");
+    test "a violation found before cancellation wins over Cancelled" (fun () ->
+        let adapter = Conc.Manual_reset_event.lost_signal in
+        let test = Test_matrix.make [ [ inv "Wait" ]; [ inv "Set" ] ] in
+        (* a token that never fires: baseline failure, for comparison with
+           one that fires far past the violating execution *)
+        let r = Check.run ~cancelled:(cancel_after 1_000_000) adapter test in
+        Alcotest.(check bool) "failed" true (Check.failed r));
+    test "exact-bound sweep admits each schedule exactly once" (fun () ->
+        let setup = accesses_program ~threads:2 ~accesses:2 in
+        let total, _ = sequential_fingerprints unbounded setup in
+        let admitted = ref 0 in
+        let per_bound, stopped =
+          Explore.explore_iterative Explore.default_config ~max_bound:6 ~setup
+            ~on_execution:(fun _ ->
+              incr admitted;
+              `Continue)
+        in
+        Alcotest.(check (option int)) "ran to the bound" None stopped;
+        Alcotest.(check int) "admissions == schedules" (List.length total) !admitted;
+        let skips =
+          List.fold_left (fun acc s -> acc + s.Explore.exact_bound_skips) 0 per_bound
+        in
+        Alcotest.(check bool) "re-executions were skipped, not re-admitted" true (skips > 0));
+  ]
+
+let tests = suite
