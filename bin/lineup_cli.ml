@@ -7,7 +7,7 @@
      auto      — AutoCheck: systematic enumeration with a test budget
      observe   — run phase 1 only and emit the observation file (Fig. 7)
      minimize  — shrink a failing test to a local minimum
-     compare   — run the §5.6 comparison checkers (races, serializability) *)
+     compare   — §5.6 comparison checkers + Line-Up over one shared exploration *)
 
 module H = Lineup_history
 module Value = Lineup_value.Value
@@ -202,33 +202,37 @@ let minimize_cmd_run name columns pb =
       `Ok 0
     | exception Invalid_argument msg -> `Error (false, msg))
 
-let compare_cmd_run name columns domains =
+let compare_cmd_run name columns jobs frontier_depth tso metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
-    (* The three analyses are independent; fan them out and print their
-       renderings in submission order so -j never reorders the output. *)
-    let tasks : (unit -> string) list =
-      [
-        (fun () ->
-          let races = Checkers.Race_detector.run ~adapter ~test () in
-          Fmt.str "data races: %d@.%a" (List.length races)
-            Fmt.(list ~sep:nop (fun ppf r -> Fmt.pf ppf "  %a@." Checkers.Race_detector.pp_race r))
-            races);
-        (fun () ->
-          let report = Checkers.Serializability.run ~adapter ~test () in
-          Fmt.str "conflict-serializability: %d of %d executions violate@."
-            report.Checkers.Serializability.violations
-            report.Checkers.Serializability.executions);
-        (fun () ->
-          let lineup = Check.run adapter test in
-          Fmt.str "line-up: %s@." (Report.summary lineup));
-      ]
+    (* Single-pass §5.6/§5.7 comparison: one exploration of the concurrent
+       schedules, with every checker attached as a pipeline analyzer — each
+       schedule is executed exactly once no matter how many checkers
+       consume it. Renders print in attachment order, Line-Up last, so -j
+       never reorders the output. *)
+    let threads = Test_matrix.num_threads test + 1 in
+    let analyzers =
+      [ Checkers.Race_detector.analyzer ~threads; Checkers.Serializability.analyzer () ]
+      @ (if tso then [ Checkers.Tso_monitor.analyzer ~threads ] else [])
     in
-    Pool.map_seq ~domains ~f:(fun ~cancelled:_ task -> task ()) (List.to_seq tasks)
-    |> List.iter (Fmt.pr "%s");
-    `Ok 0
+    let config =
+      {
+        Check.default_config with
+        Check.phase2_domains = jobs;
+        phase2_frontier_depth = frontier_depth;
+      }
+    in
+    let r =
+      with_observability ~metrics_file ~trace_file (fun metrics ->
+          Check.run ~config ?metrics ~analyzers adapter test)
+    in
+    List.iter (fun a -> Fmt.pr "%s" a.Check.a_render) r.Check.analyses;
+    Fmt.pr "line-up: %s@." (Report.summary r);
+    if Check.passed r then `Ok 0
+    else if Check.cancelled r then `Ok exit_cancelled
+    else `Ok exit_violation
 
 (* Repro: run every registered defect's targeted regression test and
    compare against the expected verdict — the §5.1 regression workflow. *)
@@ -449,10 +453,30 @@ let minimize_cmd =
     Term.(ret (const minimize_cmd_run $ name_arg $ columns_arg $ pb_arg))
 
 let compare_cmd =
+  let tso_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "tso" ]
+          ~doc:
+            "Also attach the §5.7 store-buffering monitor: flag potential \
+             sequential-consistency violations under TSO (crossed concurrent store-load \
+             windows, the Dekker litmus shape). Informational — patterns never affect the \
+             exit code.")
+  in
   Cmd.v
-    (Cmd.info "compare"
-       ~doc:"Run the comparison checkers of §5.6 (race detection, serializability) plus Line-Up")
-    Term.(ret (const compare_cmd_run $ name_arg $ columns_arg $ jobs_arg))
+    (Cmd.info "compare" ~exits:gate_exits
+       ~doc:
+         "Run the comparison checkers of §5.6 (race detection, conflict-serializability) plus \
+          Line-Up over a $(b,single) exploration: every checker rides the same schedule \
+          enumeration as a per-execution analyzer, so each schedule executes exactly once \
+          regardless of checker count. Exits like $(b,check): 0 when Line-Up found no \
+          violation, 1 on a Line-Up violation (race and serializability warnings are \
+          informational — the paper's false alarms on lock-free code), 2 when cancelled.")
+    Term.(
+      ret
+        (const compare_cmd_run $ name_arg $ columns_arg $ check_jobs_arg $ frontier_depth_arg
+         $ tso_arg $ metrics_arg $ trace_arg))
 
 let repro_cmd =
   let which =
@@ -471,13 +495,13 @@ let main =
     [
       `S Manpage.s_exit_status;
       `P
-        "$(b,check), $(b,random), $(b,auto) and $(b,repro) exit with 0 when the check completed \
-         and found no violation, and with 1 when a linearizability violation or nondeterministic \
-         behavior was reported — so any of them can gate a CI pipeline directly. A check that \
-         was cancelled before completing exits with 2: it carries no verdict and must not pass \
-         a gate. Usage errors use cmdliner's standard codes (124 command-line error, 125 \
-         internal error). The $(b,-j) flag never changes results or exit codes, only \
-         wall-clock time.";
+        "$(b,check), $(b,random), $(b,auto), $(b,compare) and $(b,repro) exit with 0 when the \
+         check completed and found no violation, and with 1 when a linearizability violation or \
+         nondeterministic behavior was reported — so any of them can gate a CI pipeline \
+         directly. A check that was cancelled before completing exits with 2: it carries no \
+         verdict and must not pass a gate. Usage errors use cmdliner's standard codes (124 \
+         command-line error, 125 internal error). The $(b,-j) flag never changes results or \
+         exit codes, only wall-clock time.";
     ]
   in
   Cmd.group

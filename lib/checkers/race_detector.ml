@@ -1,5 +1,7 @@
 module Exec_ctx = Lineup_runtime.Exec_ctx
 module Explore = Lineup_scheduler.Explore
+module Analyzer = Lineup.Analyzer
+module Pipeline = Lineup.Pipeline
 
 type race = {
   loc_name : string;
@@ -17,6 +19,25 @@ let pp_race ppf r =
   Fmt.pf ppf "race on %s: T%d %a / T%d %a" r.loc_name t1 pp_kind k1 t2 pp_kind k2
 
 let is_write = function Exec_ctx.Write | Exec_ctx.Rmw -> true | Exec_ctx.Read -> false
+
+(* The canonical orientation of a race: lower thread id first. The same
+   unordered conflict can be discovered in either order depending on which
+   access the log replays first — canonicalizing the record (not just the
+   key) makes dedup, merge and render agree on one representative no matter
+   the discovery order. *)
+let canonical r =
+  let t1, _ = r.first and t2, _ = r.second in
+  if t1 <= t2 then r else { r with first = r.second; second = r.first }
+
+(* The canonical identity of a race — (location, oriented thread pair with
+   their access kinds). Used for the per-execution dedup, the
+   cross-execution dedup and the render order, so the three can never
+   disagree (two threads racing on the same location with different access
+   kinds are distinct findings). *)
+let race_key r =
+  let c = canonical r in
+  let t1, k1 = c.first and t2, k2 = c.second in
+  (c.loc_name, t1, k1, t2, k2)
 
 type prior_access = {
   a_tid : int;
@@ -82,32 +103,79 @@ let analyze ~threads log =
       | Exec_ctx.Lock_release l -> release_to lock_vc l.tid l.lock
       | Exec_ctx.Op_start _ | Exec_ctx.Op_end _ -> ())
     log;
-  (* deduplicate by (location, unordered thread pair, kinds) *)
+  (* deduplicate by the canonical key *)
   let seen = Hashtbl.create 16 in
   List.rev !races
   |> List.filter (fun r ->
-         let t1, k1 = r.first and t2, k2 = r.second in
-         let key = r.loc_name, min t1 t2, max t1 t2, k1, k2 in
+         let key = race_key r in
          if Hashtbl.mem seen key then false
          else begin
            Hashtbl.replace seen key ();
            true
          end)
 
+(* ------------------------------------------------------------------ *)
+(* The analyzer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  mutable executions : int;
+  found :
+    ( string * int * Exec_ctx.access_kind * int * Exec_ctx.access_kind,
+      race )
+    Hashtbl.t;
+}
+
+let sorted_races st =
+  Hashtbl.fold (fun _ r acc -> r :: acc) st.found []
+  |> List.sort (fun r1 r2 -> compare (race_key r1) (race_key r2))
+
+let make_analyzer ~threads =
+  let sid = Stdlib.Type.Id.make () in
+  let module A = struct
+    type nonrec state = state
+
+    let id = sid
+    let name = "races"
+    let needs_log = true
+    let init () = { executions = 0; found = Hashtbl.create 16 }
+
+    let step st (r : Lineup.Harness.run_result) =
+      st.executions <- st.executions + 1;
+      List.iter
+        (fun race ->
+          let key = race_key race in
+          if not (Hashtbl.mem st.found key) then Hashtbl.replace st.found key (canonical race))
+        (analyze ~threads r.Lineup.Harness.log);
+      `Continue
+
+    let merge a b =
+      let out = { executions = a.executions + b.executions; found = Hashtbl.copy a.found } in
+      Hashtbl.iter
+        (fun key race ->
+          if not (Hashtbl.mem out.found key) then Hashtbl.replace out.found key race)
+        b.found;
+      out
+
+    let metrics st = [ "executions", st.executions; "races", Hashtbl.length st.found ]
+
+    let render st =
+      let races = sorted_races st in
+      Fmt.str "data races: %d@.%a" (List.length races)
+        Fmt.(list ~sep:nop (fun ppf r -> Fmt.pf ppf "  %a@." pp_race r))
+        races
+
+    (* Race reports are warnings, not gate failures: the paper's point is
+       precisely that most of them are benign on linearizable code. *)
+    let violation _ = false
+  end in
+  (Analyzer.T (module A), sid)
+
+let analyzer ~threads = fst (make_analyzer ~threads)
+
 let run ?(config = Explore.default_config) ~adapter ~test () =
-  Exec_ctx.set_logging true;
-  let races : (string, race) Hashtbl.t = Hashtbl.create 16 in
   let threads = Lineup.Test_matrix.num_threads test + 1 in
-  let stats_ignored =
-    Lineup.Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
-        List.iter
-          (fun race ->
-            if not (Hashtbl.mem races race.loc_name) then
-              Hashtbl.replace races race.loc_name race)
-          (analyze ~threads r.log);
-        `Continue)
-  in
-  ignore stats_ignored;
-  Exec_ctx.set_logging false;
-  Hashtbl.fold (fun _ r acc -> r :: acc) races []
-  |> List.sort (fun r1 r2 -> String.compare r1.loc_name r2.loc_name)
+  let a, id = make_analyzer ~threads in
+  let rep = Pipeline.run config ~analyzers:[ a ] ~adapter ~test () in
+  let st = List.find_map (fun p -> Analyzer.project p id) rep.Pipeline.packs |> Option.get in
+  sorted_races st

@@ -18,12 +18,22 @@ type race = {
 
 val pp_race : Format.formatter -> race -> unit
 
-(** Distinct races (by location and thread pair) in one execution log. *)
+(** Distinct races (by location, unordered thread pair and access kinds)
+    in one execution log. *)
 val analyze : threads:int -> Lineup_runtime.Exec_ctx.entry list -> race list
 
-(** [run ?config ?max_executions adapter test] explores the test's schedules
-    with access logging enabled and returns the distinct races across all
-    executions (deduplicated by location name). *)
+(** [analyzer ~threads] packages the detector as a per-execution analyzer
+    for {!Lineup.Pipeline}: it accumulates the distinct races — the same
+    (location, thread pair, kinds) key used per execution — across every
+    execution of a single shared exploration. [threads] is
+    [Test_matrix.num_threads test + 1] (the observer thread included). *)
+val analyzer : threads:int -> Lineup.Analyzer.t
+
+(** [run ?config ~adapter ~test ()] — the standalone entry point, a thin
+    wrapper that runs the pipeline with only {!analyzer} attached: one
+    exploration with access logging scoped on, returning the distinct
+    races across all executions, sorted by (location, thread pair, kinds)
+    for determinism. *)
 val run :
   ?config:Lineup_scheduler.Explore.config ->
   adapter:Lineup.Adapter.t ->

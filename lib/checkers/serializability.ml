@@ -1,5 +1,7 @@
 module Exec_ctx = Lineup_runtime.Exec_ctx
 module Explore = Lineup_scheduler.Explore
+module Analyzer = Lineup.Analyzer
+module Pipeline = Lineup.Pipeline
 
 type txn = int * int
 
@@ -93,20 +95,57 @@ type report = {
   sample : txn list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* The analyzer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_analyzer () =
+  let sid = Stdlib.Type.Id.make () in
+  let module A = struct
+    type state = report ref
+
+    let id = sid
+    let name = "serializability"
+    let needs_log = true
+    let init () = ref { executions = 0; violations = 0; sample = [] }
+
+    let step st (r : Lineup.Harness.run_result) =
+      let v = analyze r.Lineup.Harness.log in
+      let cur = !st in
+      st :=
+        {
+          executions = cur.executions + 1;
+          violations = (cur.violations + if v.serializable then 0 else 1);
+          sample = (if cur.sample = [] && not v.serializable then v.cycle else cur.sample);
+        };
+      `Continue
+
+    (* Counters add; the sample cycle resolves left-first, which the fixed
+       frontier merge order makes the first violating execution in
+       canonical exploration order — exactly the monolithic sample. *)
+    let merge a b =
+      ref
+        {
+          executions = !a.executions + !b.executions;
+          violations = !a.violations + !b.violations;
+          sample = (if !a.sample <> [] then !a.sample else !b.sample);
+        }
+
+    let metrics st = [ "executions", !st.executions; "violations", !st.violations ]
+
+    let render st =
+      Fmt.str "conflict-serializability: %d of %d executions violate@." !st.violations
+        !st.executions
+
+    (* Like races: atomicity violations on lock-free code are the paper's
+       canonical false alarms, so they never fail a gate by themselves. *)
+    let violation _ = false
+  end in
+  (Analyzer.T (module A), sid)
+
+let analyzer () = fst (make_analyzer ())
+
 let run ?(config = Explore.default_config) ~adapter ~test () =
-  Exec_ctx.set_logging true;
-  let executions = ref 0 in
-  let violations = ref 0 in
-  let sample = ref [] in
-  let _stats =
-    Lineup.Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
-        incr executions;
-        let v = analyze r.log in
-        if not v.serializable then begin
-          incr violations;
-          if !sample = [] then sample := v.cycle
-        end;
-        `Continue)
-  in
-  Exec_ctx.set_logging false;
-  { executions = !executions; violations = !violations; sample = !sample }
+  let a, id = make_analyzer () in
+  let rep = Pipeline.run config ~analyzers:[ a ] ~adapter ~test () in
+  !(List.find_map (fun p -> Analyzer.project p id) rep.Pipeline.packs |> Option.get)

@@ -25,9 +25,18 @@ type report = {
   sample : txn list;  (** a sample cycle from the first violation *)
 }
 
-(** [run ?config adapter test] explores the test with logging enabled and
-    counts non-serializable executions — the "hundreds of warnings" the
-    paper reports on perfectly correct implementations. *)
+(** [analyzer ()] packages the monitor as a per-execution analyzer for
+    {!Lineup.Pipeline}: it counts non-serializable executions across every
+    execution of a single shared exploration, keeping the cycle of the
+    first violating execution (in canonical exploration order) as the
+    sample. *)
+val analyzer : unit -> Lineup.Analyzer.t
+
+(** [run ?config ~adapter ~test ()] — the standalone entry point, a thin
+    wrapper running the pipeline with only {!analyzer} attached: one
+    exploration with logging scoped on, counting non-serializable
+    executions — the "hundreds of warnings" the paper reports on
+    perfectly correct implementations. *)
 val run :
   ?config:Lineup_scheduler.Explore.config ->
   adapter:Lineup.Adapter.t ->

@@ -1,5 +1,7 @@
 module Exec_ctx = Lineup_runtime.Exec_ctx
 module Explore = Lineup_scheduler.Explore
+module Analyzer = Lineup.Analyzer
+module Pipeline = Lineup.Pipeline
 
 type report = {
   x_name : string;
@@ -157,18 +159,66 @@ let analyze ~threads log =
            true
          end)
 
+(* ------------------------------------------------------------------ *)
+(* The analyzer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let report_key r = r.x_name, r.y_name, r.t1, r.t2
+
+type state = {
+  mutable executions : int;
+  found : (string * string * int * int, report) Hashtbl.t;
+}
+
+let sorted_reports st =
+  Hashtbl.fold (fun _ r acc -> r :: acc) st.found []
+  |> List.sort (fun r1 r2 -> compare (report_key r1) (report_key r2))
+
+let make_analyzer ~threads =
+  let sid = Stdlib.Type.Id.make () in
+  let module A = struct
+    type nonrec state = state
+
+    let id = sid
+    let name = "tso"
+    let needs_log = true
+    let init () = { executions = 0; found = Hashtbl.create 8 }
+
+    let step st (r : Lineup.Harness.run_result) =
+      st.executions <- st.executions + 1;
+      List.iter
+        (fun rep ->
+          let key = report_key rep in
+          if not (Hashtbl.mem st.found key) then Hashtbl.replace st.found key rep)
+        (analyze ~threads r.Lineup.Harness.log);
+      `Continue
+
+    let merge a b =
+      let out = { executions = a.executions + b.executions; found = Hashtbl.copy a.found } in
+      Hashtbl.iter
+        (fun key rep ->
+          if not (Hashtbl.mem out.found key) then Hashtbl.replace out.found key rep)
+        b.found;
+      out
+
+    let metrics st = [ "executions", st.executions; "patterns", Hashtbl.length st.found ]
+
+    let render st =
+      let reports = sorted_reports st in
+      Fmt.str "store-buffering patterns: %d@.%a" (List.length reports)
+        Fmt.(list ~sep:nop (fun ppf r -> Fmt.pf ppf "  %a@." pp_report r))
+        reports
+
+    (* Conservative pattern detection, not a verdict — informational. *)
+    let violation _ = false
+  end in
+  (Analyzer.T (module A), sid)
+
+let analyzer ~threads = fst (make_analyzer ~threads)
+
 let run ?(config = Explore.default_config) ~adapter ~test () =
-  Exec_ctx.set_logging true;
-  let found : (string * string * int * int, report) Hashtbl.t = Hashtbl.create 8 in
   let threads = Lineup.Test_matrix.num_threads test + 1 in
-  let _ =
-    Lineup.Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
-        List.iter
-          (fun rep ->
-            let key = rep.x_name, rep.y_name, rep.t1, rep.t2 in
-            if not (Hashtbl.mem found key) then Hashtbl.replace found key rep)
-          (analyze ~threads r.log);
-        `Continue)
-  in
-  Exec_ctx.set_logging false;
-  Hashtbl.fold (fun _ r acc -> r :: acc) found []
+  let a, id = make_analyzer ~threads in
+  let rep = Pipeline.run config ~analyzers:[ a ] ~adapter ~test () in
+  let st = List.find_map (fun p -> Analyzer.project p id) rep.Pipeline.packs |> Option.get in
+  sorted_reports st

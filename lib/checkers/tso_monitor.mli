@@ -33,8 +33,16 @@ val pp_report : Format.formatter -> report -> unit
 (** Distinct store-buffering patterns in one execution's access log. *)
 val analyze : threads:int -> Lineup_runtime.Exec_ctx.entry list -> report list
 
-(** Explore the test's schedules with logging on; distinct patterns across
-    all executions. *)
+(** [analyzer ~threads] packages the monitor as a per-execution analyzer
+    for {!Lineup.Pipeline} — the §5.7 check as an opt-in rider on any
+    exploration ([compare --tso]). [threads] is
+    [Test_matrix.num_threads test + 1]. *)
+val analyzer : threads:int -> Lineup.Analyzer.t
+
+(** [run ?config ~adapter ~test ()] — the standalone entry point, a thin
+    wrapper running the pipeline with only {!analyzer} attached: one
+    exploration with logging scoped on; the distinct patterns across all
+    executions, sorted by (locations, thread pair) for determinism. *)
 val run :
   ?config:Lineup_scheduler.Explore.config ->
   adapter:Lineup.Adapter.t ->

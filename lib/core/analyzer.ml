@@ -1,0 +1,36 @@
+module type S = sig
+  type state
+
+  val id : state Stdlib.Type.Id.t
+  val name : string
+  val needs_log : bool
+  val init : unit -> state
+  val step : state -> Harness.run_result -> [ `Continue | `Done ]
+  val merge : state -> state -> state
+  val metrics : state -> (string * int) list
+  val render : state -> string
+  val violation : state -> bool
+end
+
+type t = T : (module S with type state = 's) -> t
+type packed = Packed : (module S with type state = 's) * 's -> packed
+
+let name (T (module A)) = A.name
+let needs_log (T (module A)) = A.needs_log
+let fresh (T (module A)) = Packed ((module A), A.init ())
+let step (Packed ((module A), s)) r = A.step s r
+
+let merge (Packed ((module A), s1)) (Packed ((module B), s2)) =
+  match Stdlib.Type.Id.provably_equal A.id B.id with
+  | Some Stdlib.Type.Equal -> Packed ((module A), A.merge s1 s2)
+  | None -> Fmt.invalid_arg "Analyzer.merge: %s with %s" A.name B.name
+
+let project : type s. packed -> s Stdlib.Type.Id.t -> s option =
+ fun (Packed ((module A), s)) id ->
+  match Stdlib.Type.Id.provably_equal A.id id with
+  | Some Stdlib.Type.Equal -> Some s
+  | None -> None
+
+let metrics (Packed ((module A), s)) = A.metrics s
+let render (Packed ((module A), s)) = A.render s
+let violation (Packed ((module A), s)) = A.violation s

@@ -4,7 +4,6 @@ module Op = Lineup_history.Op
 module Explore = Lineup_scheduler.Explore
 module Metrics = Lineup_observe.Metrics
 module Trace = Lineup_observe.Trace
-module Pool = Lineup_parallel.Pool
 
 type config = {
   phase1 : Explore.config;
@@ -63,11 +62,19 @@ type phase_report = {
   time : float;
 }
 
+type analysis = {
+  a_name : string;
+  a_render : string;
+  a_violation : bool;
+  a_metrics : (string * int) list;
+}
+
 type result = {
   verdict : verdict;
   observation : Observation.t;
   phase1 : phase_report;
   phase2 : phase_report option;
+  analyses : analysis list;
 }
 
 let passed r = match r.verdict with Pass -> true | Fail _ | Cancelled -> false
@@ -101,19 +108,7 @@ let never_cancelled () = false
 (* Counter ingestion. All values are sums of ints over a deterministic job
    set, so per-job registries merge to -j-independent totals; wall-clock
    stays out of the metrics and goes to the trace stream instead. *)
-let add_explore_stats m ~prefix (s : Explore.stats) =
-  let c k v = Metrics.add m (Fmt.str "explore.%s.%s" prefix k) v in
-  c "executions" s.Explore.executions;
-  c "steps" s.Explore.total_steps;
-  c "deadlocks" s.Explore.deadlocks;
-  c "divergences" s.Explore.divergences;
-  c "serial_stucks" s.Explore.serial_stucks;
-  c "pruned_choices" s.Explore.pruned_choices;
-  c "preemptions" s.Explore.preemptions_spent;
-  c "yields" s.Explore.yields;
-  c "choice_points" s.Explore.choice_points;
-  c "incomplete" (if s.Explore.complete then 0 else 1)
-
+let add_explore_stats = Pipeline.add_explore_stats
 let mincr metrics k = match metrics with Some m -> Metrics.incr m k | None -> ()
 
 let trace_phase phase (report : phase_report) =
@@ -178,210 +173,142 @@ let synthesize ?(config = default_config) ?(cancelled = never_cancelled) ?metric
 (* Phase 2 checking                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* The per-history checking state. One of these exists per exploration:
-   a single one for the monolithic path, one per frontier partition for
-   the parallel path (each partition job runs on its own domain, so the
-   cells and the dedup table are never shared). *)
-type p2_checker = {
-  on_history : Harness.run_result -> [ `Continue | `Stop ];
-  found : violation option ref;
-  interrupted : bool ref;
-  histories : int ref;
-  dedup_hits : int ref;
-  witness_searches : int ref;
+(* The Line-Up phase-2 history check, expressed as an analyzer so that the
+   pipeline can drive it — alone (a plain [run]) or alongside the §5.6
+   comparison checkers ([compare]) — over a single exploration. One state
+   exists per exploration: a single one on the monolithic path, one per
+   frontier partition on the parallel path (each partition job runs on its
+   own domain, so the cells and the dedup table are never shared; states
+   merge in frontier order, first violation winning). *)
+type p2_state = {
+  mutable found : violation option;
+  mutable histories : int;
+  mutable dedup_hits : int;
+  mutable witness_searches : int;
   witness_probes : int ref;
-  stuck_checks : int ref;
+  mutable stuck_checks : int;
   stuck_probes : int ref;
-}
-
-let p2_checker config ~observation ~cancelled =
-  let found = ref None in
-  let interrupted = ref false in
-  let histories = ref 0 in
-  let dedup_hits = ref 0 in
-  let witness_searches = ref 0 in
-  let witness_probes = ref 0 in
-  let stuck_checks = ref 0 in
-  let stuck_probes = ref 0 in
   (* Distinct histories seen: schedules frequently reproduce the same
      event sequence, and the witness verdict only depends on the history,
-     so each distinct one is checked once. (Scoped to this checker — the
+     so each distinct one is checked once. (Scoped to this state — the
      parallel path may re-check a history that also occurs in another
      partition.) *)
-  let seen : (Lineup_history.Event.t list * bool, unit) Hashtbl.t = Hashtbl.create 256 in
-  let on_history (r : Harness.run_result) =
-    if cancelled () then begin
-      interrupted := true;
-      `Stop
-    end
-    else
-    match exception_of r.outcome with
-    | Some v ->
-      found := Some v;
-      `Stop
-    | None
-      when config.dedup_histories
-           && Hashtbl.mem seen (History.events r.history, History.is_stuck r.history) ->
-      incr dedup_hits;
-      `Continue
-    | None ->
-      Hashtbl.replace seen (History.events r.history, History.is_stuck r.history) ();
-      incr histories;
-      if History.is_stuck r.history then
-        if config.classic_only then `Continue
-        else begin
-          incr stuck_checks;
-          match Observation.linearizable_stuck ~probes:stuck_probes observation r.history with
-          | Ok () -> `Continue
-          | Error op ->
-            found := Some (Stuck_unjustified (r.history, op));
-            `Stop
-        end
-      else begin
-        incr witness_searches;
-        match Observation.find_witness_full ~probes:witness_probes observation r.history with
-        | Some _ -> `Continue
-        | None ->
-          found := Some (No_witness r.history);
-          `Stop
-      end
-  in
-  {
-    on_history;
-    found;
-    interrupted;
-    histories;
-    dedup_hits;
-    witness_searches;
-    witness_probes;
-    stuck_checks;
-    stuck_probes;
-  }
-
-let add_checker_counters m (c : p2_checker) =
-  Metrics.add m "check.phase2.histories_distinct" !(c.histories);
-  Metrics.add m "check.phase2.dedup_hits" !(c.dedup_hits);
-  Metrics.add m "check.phase2.witness_searches" !(c.witness_searches);
-  Metrics.add m "check.phase2.witness_probes" !(c.witness_probes);
-  Metrics.add m "check.phase2.stuck_checks" !(c.stuck_checks);
-  Metrics.add m "check.phase2.stuck_probes" !(c.stuck_probes)
-
-(* The legacy single-domain path: one exploration, one dedup table. *)
-let run_phase2_monolithic config ~cancelled ~metrics ~adapter ~test ~observation =
-  let c = p2_checker config ~observation ~cancelled in
-  let stats = Harness.run_phase config.phase2 ~adapter ~test ~on_history:c.on_history in
-  (match metrics with
-   | Some m ->
-     add_explore_stats m ~prefix:"phase2" stats;
-     add_checker_counters m c
-   | None -> ());
-  (stats, !(c.histories), !(c.found), !(c.interrupted))
-
-type partition_result = {
-  pt_stats : Explore.stats;
-  pt_violation : violation option;
-  pt_interrupted : bool;
-  pt_histories : int;
-  pt_metrics : Metrics.t option;
+  seen : (Lineup_history.Event.t list * bool, unit) Hashtbl.t;
 }
 
-(* The frontier path: a shallow sequential warm-up enumerates the
-   depth-[phase2_frontier_depth] decision prefixes, then the partitions fan
-   out over the pool. Determinism: the frontier is computed on the calling
-   domain (identical for every [domains]), [Pool.map_seq] keeps the
-   submission-order prefix of results up to the earliest stopping partition
-   regardless of [domains], and partitions before a violating one always
-   run to completion — so the verdict, the merged statistics and the merged
-   metrics are a function of the frontier alone, not of the domain count.
+let p2_init () =
+  {
+    found = None;
+    histories = 0;
+    dedup_hits = 0;
+    witness_searches = 0;
+    witness_probes = ref 0;
+    stuck_checks = 0;
+    stuck_probes = ref 0;
+    seen = Hashtbl.create 256;
+  }
 
-   The warm-up ignores thread exceptions: each warm-up execution is
-   re-executed as the leftmost leaf of its partition, where the exception
-   is caught in canonical order. [config.phase2.max_executions] caps the
-   warm-up (bounding the partition count) and each partition separately. *)
-let run_phase2_frontier config ~domains ~cancelled ~metrics ~adapter ~test ~observation =
-  let depth = config.phase2_frontier_depth in
-  let warmup_interrupted = ref false in
-  let frontier =
-    Harness.split_phase config.phase2 ~depth ~adapter ~test ~on_history:(fun _r ->
-        if cancelled () then begin
-          warmup_interrupted := true;
-          `Stop
-        end
-        else `Continue)
-  in
-  let with_metrics = Option.is_some metrics in
-  let run_partition ~cancelled:pool_cancelled (i, prefix) =
-    let t0 = now () in
-    let c =
-      p2_checker config ~observation ~cancelled:(fun () -> pool_cancelled () || cancelled ())
-    in
-    let stats =
-      Harness.run_phase_from config.phase2 ~prefix ~adapter ~test ~on_history:c.on_history
-    in
-    let jm =
-      if not with_metrics then None
+let p2_step config ~observation st (r : Harness.run_result) =
+  match exception_of r.outcome with
+  | Some v ->
+    st.found <- Some v;
+    `Done
+  | None
+    when config.dedup_histories
+         && Hashtbl.mem st.seen (History.events r.history, History.is_stuck r.history) ->
+    st.dedup_hits <- st.dedup_hits + 1;
+    `Continue
+  | None ->
+    Hashtbl.replace st.seen (History.events r.history, History.is_stuck r.history) ();
+    st.histories <- st.histories + 1;
+    if History.is_stuck r.history then
+      if config.classic_only then `Continue
       else begin
-        let m = Metrics.create () in
-        add_explore_stats m ~prefix:"phase2" stats;
-        add_checker_counters m c;
-        Metrics.add m
-          (Fmt.str "explore.phase2.partition.%03d.executions" i)
-          stats.Explore.executions;
-        Some m
+        st.stuck_checks <- st.stuck_checks + 1;
+        match Observation.linearizable_stuck ~probes:st.stuck_probes observation r.history with
+        | Ok () -> `Continue
+        | Error op ->
+          st.found <- Some (Stuck_unjustified (r.history, op));
+          `Done
       end
-    in
-    if Trace.enabled () then
-      Trace.emit "check.partition"
-        [
-          "index", Trace.Int i;
-          "executions", Trace.Int stats.Explore.executions;
-          "histories", Trace.Int !(c.histories);
-          "dt", Trace.Float (now () -. t0);
-        ];
-    {
-      pt_stats = stats;
-      pt_violation = !(c.found);
-      pt_interrupted = !(c.interrupted);
-      pt_histories = !(c.histories);
-      pt_metrics = jm;
-    }
-  in
-  let results =
-    if !warmup_interrupted then []
-    else
-      Pool.map_seq ~domains
-        ~stop:(fun p -> p.pt_violation <> None || p.pt_interrupted)
-        ~f:run_partition
-        (List.to_seq (List.mapi (fun i prefix -> i, prefix) frontier.Explore.prefixes))
-  in
-  let stats =
-    List.fold_left
-      (fun acc p -> Explore.merge_stats acc p.pt_stats)
-      frontier.Explore.warmup results
-  in
-  let histories = List.fold_left (fun acc p -> acc + p.pt_histories) 0 results in
-  let violation =
-    List.fold_left
-      (fun acc p -> match acc with Some _ -> acc | None -> p.pt_violation)
-      None results
-  in
-  let interrupted =
-    !warmup_interrupted || List.exists (fun p -> p.pt_interrupted) results
-  in
-  (match metrics with
-   | Some m ->
-     add_explore_stats m ~prefix:"phase2" frontier.Explore.warmup;
-     Metrics.add m "explore.phase2.partitions" (List.length frontier.Explore.prefixes);
-     Metrics.add m "explore.phase2.warmup_executions"
-       frontier.Explore.warmup.Explore.executions;
-     List.iter
-       (fun p -> Option.iter (fun jm -> Metrics.merge_into ~into:m jm) p.pt_metrics)
-       results
-   | None -> ());
-  (stats, histories, violation, interrupted)
+    else begin
+      st.witness_searches <- st.witness_searches + 1;
+      match Observation.find_witness_full ~probes:st.witness_probes observation r.history with
+      | Some _ -> `Continue
+      | None ->
+        st.found <- Some (No_witness r.history);
+        `Done
+    end
 
-let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?observation adapter
-    test =
+let p2_merge a b =
+  {
+    found = (match a.found with Some _ -> a.found | None -> b.found);
+    histories = a.histories + b.histories;
+    dedup_hits = a.dedup_hits + b.dedup_hits;
+    witness_searches = a.witness_searches + b.witness_searches;
+    witness_probes = ref (!(a.witness_probes) + !(b.witness_probes));
+    stuck_checks = a.stuck_checks + b.stuck_checks;
+    stuck_probes = ref (!(a.stuck_probes) + !(b.stuck_probes));
+    seen = Hashtbl.create 1;
+  }
+
+let p2_counters st =
+  [
+    "histories_distinct", st.histories;
+    "dedup_hits", st.dedup_hits;
+    "witness_searches", st.witness_searches;
+    "witness_probes", !(st.witness_probes);
+    "stuck_checks", st.stuck_checks;
+    "stuck_probes", !(st.stuck_probes);
+    "violation", (if st.found = None then 0 else 1);
+  ]
+
+let lineup_analyzer config ~observation =
+  let sid = Stdlib.Type.Id.make () in
+  let module A = struct
+    type state = p2_state
+
+    let id = sid
+    let name = "lineup"
+    let needs_log = false
+    let init = p2_init
+    let step st r = p2_step config ~observation st r
+    let merge = p2_merge
+    let metrics = p2_counters
+
+    let render st =
+      match st.found with
+      | None -> Fmt.str "line-up: no violation in %d distinct histories\n" st.histories
+      | Some v -> Fmt.str "line-up: %a\n" pp_violation v
+
+    let violation st = st.found <> None
+  end in
+  (Analyzer.T (module A), sid)
+
+(* The legacy metric keys of the phase-2 checker, kept alongside the
+   pipeline's [analyze.lineup.*] projection of the same counters. *)
+let add_checker_counters m (st : p2_state) =
+  List.iter
+    (fun (k, v) ->
+      if k <> "violation" then Metrics.add m ("check.phase2." ^ k) v)
+    (p2_counters st)
+
+let analysis_of pack =
+  {
+    a_name = (let (Analyzer.Packed ((module A), _)) = pack in A.name);
+    a_render = Analyzer.render pack;
+    a_violation = Analyzer.violation pack;
+    a_metrics = Analyzer.metrics pack;
+  }
+
+(* One pipeline run over the concurrent schedules of [test]. *)
+let run_pipeline config ~cancelled ~metrics ~analyzers ~adapter ~test =
+  Pipeline.run ?domains:config.phase2_domains
+    ~frontier_depth:config.phase2_frontier_depth ~cancelled ?metrics config.phase2 ~analyzers
+    ~adapter ~test ()
+
+let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?observation
+    ?(analyzers = []) adapter test =
   mincr metrics "check.runs";
   let phase1_result =
     match observation with
@@ -397,26 +324,42 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?obse
      | Fail _ -> mincr metrics "check.violations"
      | Cancelled -> mincr metrics "check.cancelled"
      | Pass -> ());
-    { verdict; observation = Observation.create (); phase1; phase2 = None }
-  | Ok (observation, phase1) ->
-    (* Phase 2: enumerate concurrent executions, check against the
-       observation set. *)
-    let p2_start = now () in
-    let stats, histories, violation, interrupted =
-      match config.phase2_domains with
-      | None -> run_phase2_monolithic config ~cancelled ~metrics ~adapter ~test ~observation
-      | Some domains ->
-        run_phase2_frontier config ~domains ~cancelled ~metrics ~adapter ~test ~observation
+    (* Attached analyzers still get their single exploration of the
+       concurrent schedules: a failed synthesis is a Line-Up verdict, not a
+       reason to drop the race/serializability findings of [compare]. *)
+    let analyses =
+      if analyzers = [] then []
+      else
+        let rep = run_pipeline config ~cancelled ~metrics ~analyzers ~adapter ~test in
+        List.map analysis_of rep.Pipeline.packs
     in
-    let phase2 = { stats; histories; time = now () -. p2_start } in
+    { verdict; observation = Observation.create (); phase1; phase2 = None; analyses }
+  | Ok (observation, phase1) ->
+    (* Phase 2: enumerate concurrent executions once, drive the Line-Up
+       analyzer — plus any attached extra analyzers — over each. *)
+    let p2_start = now () in
+    let lineup, lineup_id = lineup_analyzer config ~observation in
+    let rep =
+      run_pipeline config ~cancelled ~metrics ~analyzers:(lineup :: analyzers) ~adapter ~test
+    in
+    let st =
+      match rep.Pipeline.packs with
+      | lineup_pack :: _ -> Option.get (Analyzer.project lineup_pack lineup_id)
+      | [] -> assert false
+    in
+    (match metrics with Some m -> add_checker_counters m st | None -> ());
+    let phase2 =
+      { stats = rep.Pipeline.stats; histories = st.histories; time = now () -. p2_start }
+    in
     trace_phase "phase2" phase2;
     let verdict =
-      match violation with
+      match st.found with
       | Some v -> Fail v
-      | None -> if interrupted then Cancelled else Pass
+      | None -> if rep.Pipeline.interrupted then Cancelled else Pass
     in
     (match verdict with
      | Pass -> mincr metrics "check.passes"
      | Fail _ -> mincr metrics "check.violations"
      | Cancelled -> mincr metrics "check.cancelled");
-    { verdict; observation; phase1; phase2 = Some phase2 }
+    let analyses = List.map analysis_of (List.tl rep.Pipeline.packs) in
+    { verdict; observation; phase1; phase2 = Some phase2; analyses }

@@ -86,11 +86,25 @@ type phase_report = {
   time : float;  (** monotonic seconds *)
 }
 
+(** The rendered outcome of one extra analyzer attached to the phase-2
+    exploration (see {!run}'s [analyzers]). *)
+type analysis = {
+  a_name : string;  (** the analyzer's {!Analyzer.S.name} *)
+  a_render : string;  (** its deterministic findings, newline-terminated *)
+  a_violation : bool;  (** whether the findings should fail a gate *)
+  a_metrics : (string * int) list;
+      (** its {!Analyzer.S.metrics} counters — the structured counterpart of
+          [a_render] (e.g. the race analyzer's [("races", n)]) *)
+}
+
 type result = {
   verdict : verdict;
   observation : Observation.t;
   phase1 : phase_report;
   phase2 : phase_report option;  (** [None] when phase 1 did not complete *)
+  analyses : analysis list;
+      (** outcomes of the attached extra analyzers, in attachment order;
+          [[]] when none were attached *)
 }
 
 val passed : result -> bool
@@ -142,12 +156,26 @@ val synthesize :
 
     When [config.phase2_domains] is [Some d], phase 2 runs the frontier
     path (see {!config}); the verdict, report and metrics are identical
-    for every [d]. *)
+    for every [d].
+
+    [analyzers] attaches extra per-execution analyzers (the §5.6/§5.7
+    comparison checkers) to the phase-2 exploration: the pipeline drives
+    the Line-Up history check {e and} every attached analyzer over a
+    single exploration, so each schedule is executed exactly once no
+    matter how many checkers consume it; their outcomes are returned in
+    [result.analyses]. The exploration only stops early when every
+    analyzer is done — with accumulating analyzers attached it runs the
+    full (budgeted) schedule space even after a Line-Up violation, so
+    each analyzer's findings equal what its standalone run reports. If
+    phase 1 fails, the attached analyzers still get their exploration
+    (the comparison is meaningful regardless of the Line-Up verdict);
+    only the Line-Up phase-2 check is skipped. *)
 val run :
   ?config:config ->
   ?cancelled:(unit -> bool) ->
   ?metrics:Lineup_observe.Metrics.t ->
   ?observation:Observation.t ->
+  ?analyzers:Analyzer.t list ->
   Adapter.t ->
   Test_matrix.t ->
   result

@@ -62,18 +62,24 @@ let callbacks ~(adapter : Adapter.t) ~(test : Test_matrix.t) ~on_history =
   in
   setup, on_execution
 
-let run_phase cfg ~adapter ~test ~on_history =
-  let setup, on_execution = callbacks ~adapter ~test ~on_history in
-  Explore.explore cfg ~setup ~on_execution
+(* [?log]: scope the access-logging flag around the exploration (set iff
+   some attached analyzer needs the log, restored exception-safely by
+   [Exec_ctx.with_logging]); absent, the flag is left untouched. *)
+let scoped_log log body =
+  match log with None -> body () | Some enabled -> Exec_ctx.with_logging enabled body
 
-let split_phase cfg ~depth ~adapter ~test ~on_history =
+let run_phase ?log cfg ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
-  Explore.split cfg ~depth ~setup ~on_execution
+  scoped_log log (fun () -> Explore.explore cfg ~setup ~on_execution)
 
-let run_phase_from cfg ~prefix ~adapter ~test ~on_history =
+let split_phase ?log cfg ~depth ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
-  Explore.explore_from cfg ~prefix ~setup ~on_execution
+  scoped_log log (fun () -> Explore.split cfg ~depth ~setup ~on_execution)
 
-let run_phase_random cfg ~rng ~executions ~adapter ~test ~on_history =
+let run_phase_from ?log cfg ~prefix ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
-  Explore.random_walk cfg ~rng ~executions ~setup ~on_execution
+  scoped_log log (fun () -> Explore.explore_from cfg ~prefix ~setup ~on_execution)
+
+let run_phase_random ?log cfg ~rng ~executions ~adapter ~test ~on_history =
+  let setup, on_execution = callbacks ~adapter ~test ~on_history in
+  scoped_log log (fun () -> Explore.random_walk cfg ~rng ~executions ~setup ~on_execution)

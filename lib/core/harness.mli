@@ -18,8 +18,17 @@ type run_result = {
 
 (** [run_phase cfg ~adapter ~test ~on_history] explores the schedules of
     [test] under [cfg] and reports each execution's history. Returning
-    [`Stop] aborts the exploration. *)
+    [`Stop] aborts the exploration.
+
+    [log] (here and in the variants below): scope the shared-access
+    logging flag of {!Lineup_runtime.Exec_ctx} around the exploration —
+    [~log:true] enables it, [~log:false] disables it, and either way the
+    previous setting is restored on return {e and} on exception. When
+    omitted the flag is left untouched. The analysis pipeline passes
+    [~log:true] exactly when some attached analyzer reads the access
+    log. *)
 val run_phase :
+  ?log:bool ->
   Lineup_scheduler.Explore.config ->
   adapter:Adapter.t ->
   test:Test_matrix.t ->
@@ -34,6 +43,7 @@ val run_phase :
     is meant to be explored by {!run_phase_from}, possibly on another
     domain with its own adapter instances. *)
 val split_phase :
+  ?log:bool ->
   Lineup_scheduler.Explore.config ->
   depth:int ->
   adapter:Adapter.t ->
@@ -45,6 +55,7 @@ val split_phase :
     frontier partition: replays [prefix] frozen and enumerates the subtree
     below it (see {!Lineup_scheduler.Explore.explore_from}). *)
 val run_phase_from :
+  ?log:bool ->
   Lineup_scheduler.Explore.config ->
   prefix:Lineup_scheduler.Explore.prefix ->
   adapter:Adapter.t ->
@@ -56,6 +67,7 @@ val run_phase_from :
     of systematic enumeration — the stress-testing baseline ("simple runtime
     monitoring is not sufficient", §4). *)
 val run_phase_random :
+  ?log:bool ->
   Lineup_scheduler.Explore.config ->
   rng:Random.State.t ->
   executions:int ->

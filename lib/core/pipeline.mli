@@ -1,0 +1,67 @@
+(** One exploration, N analyzers.
+
+    The analysis pipeline drives a set of {!Analyzer}s over a {e single}
+    exploration of a test's schedule tree: each explored schedule is
+    executed exactly once and every attached analyzer consumes it. This is
+    how the paper's §5.6 comparison runs its checkers "on the same
+    executions" Line-Up explores — and it is what makes [compare] pay one
+    exploration instead of one per checker.
+
+    Determinism contract (same argument as the frontier-split checker):
+    - the exploration is the canonical enumeration, independent of the
+      analyzer set (analyzers run between executions, outside the modeled
+      runtime — they cannot perturb the schedule enumeration);
+    - with [domains] set, the tree is partitioned by the decision-prefix
+      frontier; each partition accumulates into fresh analyzer states on
+      its worker domain and the per-partition states are merged in
+      frontier order on the calling domain — so renders, violations and
+      metrics are identical for every domain count;
+    - access logging is enabled iff some attached analyzer [needs_log],
+      scoped exception-safely per exploring domain
+      ({!Lineup_runtime.Exec_ctx.with_logging}). *)
+
+type report = {
+  packs : Analyzer.packed list;
+      (** final (merged) analyzer states, in attachment order *)
+  stats : Lineup_scheduler.Explore.stats;
+      (** exploration totals (warm-up included on the frontier path) *)
+  interrupted : bool;  (** the [cancelled] token fired before completion *)
+}
+
+(** [run config ~analyzers ~adapter ~test ()] explores [test] once under
+    [config] and steps every analyzer on each execution. The exploration
+    stops early only when every analyzer reports [`Done] (or on
+    cancellation / the config's execution budget).
+
+    [domains]: fan the exploration out by frontier splitting (a
+    sequential depth-[frontier_depth] warm-up enumerates the decision
+    prefixes; each prefix subtree is one partition job). Analyzer states
+    are per partition and merged in frontier order; a partition where
+    every analyzer is done cancels later partitions ([Pool.map_seq]'s
+    deterministic prefix rule keeps the result independent of [domains]).
+
+    [metrics] receives [explore.<metrics_prefix>.*] exploration counters
+    (default prefix ["phase2"], matching {!Check}) and, for each analyzer,
+    its own counters under [analyze.<name>.*].
+
+    Raises [Invalid_argument] when [analyzers] is empty. *)
+val run :
+  ?domains:int ->
+  ?frontier_depth:int ->
+  ?cancelled:(unit -> bool) ->
+  ?metrics:Lineup_observe.Metrics.t ->
+  ?metrics_prefix:string ->
+  Lineup_scheduler.Explore.config ->
+  analyzers:Analyzer.t list ->
+  adapter:Adapter.t ->
+  test:Test_matrix.t ->
+  unit ->
+  report
+
+val add_explore_stats :
+  Lineup_observe.Metrics.t -> prefix:string -> Lineup_scheduler.Explore.stats -> unit
+(** Ingest exploration statistics as [explore.<prefix>.*] counters —
+    shared with {!Check}'s phase reporting. *)
+
+val add_analyzer_metrics : Lineup_observe.Metrics.t -> Analyzer.packed -> unit
+(** Ingest one analyzer's counters as [analyze.<name>.*]. *)

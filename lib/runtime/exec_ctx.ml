@@ -46,6 +46,12 @@ let current_tid () = (state ()).tid
 let set_logging b = (state ()).logging <- b
 let logging_enabled () = (state ()).logging
 
+let with_logging enabled f =
+  let s = state () in
+  let saved = s.logging in
+  s.logging <- enabled;
+  Fun.protect ~finally:(fun () -> (state ()).logging <- saved) f
+
 let log e =
   let s = state () in
   if s.logging then s.log_entries <- e :: s.log_entries

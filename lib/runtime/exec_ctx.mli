@@ -38,6 +38,14 @@ val current_tid : unit -> int
     checkers enable it. *)
 val set_logging : bool -> unit
 val logging_enabled : unit -> bool
+
+(** [with_logging enabled f] runs [f] with access logging set to [enabled]
+    and restores the previous setting on return {e and} on exception
+    ([Fun.protect]): an analysis that raises mid-exploration can never leak
+    a logging-enabled (or -disabled) state into subsequent checks. The flag
+    is domain-local, so the scope is the calling domain only — parallel
+    partition workers each wrap their own exploration. *)
+val with_logging : bool -> (unit -> 'a) -> 'a
 val log : entry -> unit
 
 (** The log of the current execution, in execution order. *)

@@ -21,6 +21,7 @@ let () =
       "frontier", Test_frontier.tests;
       "observe", Test_observe.tests;
       "checkers", Test_checkers.tests;
+      "pipeline", Test_pipeline.tests;
       "tso", Test_tso.tests;
       "cross-validation", Test_crossval.tests;
     ]
