@@ -15,6 +15,11 @@ let pb_sweep opts =
   Fmt.pr "%-50s |" "Defect";
   List.iter (fun pb -> Fmt.pr " %16s |" (Fmt.str "PB=%d" pb)) [ 0; 1; 2; 3 ];
   Fmt.pr "@.%s@." (String.make 130 '-');
+  (* The point of the sweep is exhaustion *at each bound*: the CI-scale
+     phase-2 cap would turn slow-to-find defects (the CAS typo needs ~2800
+     executions at PB=2 since return markers became scheduling points) into
+     spurious misses, so the sweep keeps a floor of its own. *)
+  let cap = max opts.cap 20_000 in
   List.iter
     (fun (name, cols) ->
       let e = Conc.Registry.find name in
@@ -22,7 +27,7 @@ let pb_sweep opts =
       List.iter
         (fun pb ->
           let config =
-            Check.config_with ~preemption_bound:(Some pb) ~max_executions:(Some opts.cap) ()
+            Check.config_with ~preemption_bound:(Some pb) ~max_executions:(Some cap) ()
           in
           let r = Check.run ~config e.adapter (Test_matrix.make cols) in
           let execs =
@@ -173,6 +178,9 @@ let icb opts =
       | Ok (obs, _) ->
         let execs = ref 0 in
         let found_at = ref None in
+        (* Same exhaustion floor as the PB sweep: the point is the bound at
+           which the defect surfaces, not whether it beats the CI cap. *)
+        let cap = max opts.cap 20_000 in
         let rec try_bound b =
           if b > 3 || Option.is_some !found_at then ()
           else begin
@@ -180,7 +188,7 @@ let icb opts =
               {
                 Explore.default_config with
                 Explore.preemption_bound = Some b;
-                max_executions = Some opts.cap;
+                max_executions = Some cap;
               }
             in
             let _ =

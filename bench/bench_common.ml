@@ -23,6 +23,69 @@ let write_metrics () =
     Metrics.write_file metrics_registry ~path;
     Fmt.pr "[bench] wrote metrics summary to %s@." path
 
+(* Machine-readable per-artifact results (--json FILE). Each artifact runner
+   may record rows; the file is the bench lane's CI artifact
+   (BENCH_<sha>.json), so the schema is versioned and the rows are emitted
+   in recording order to keep diffs stable. [reduction] is the
+   unreduced/reduced execution ratio where the artifact measured one. *)
+type bench_row = {
+  row_section : string;
+  row_class : string;
+  row_config : string;  (* e.g. "pb=2" / "unbounded" *)
+  row_wall_s : float;
+  row_executions : int;
+  row_executions_reduced : int option;
+  row_reduction : float option;
+}
+
+let json_out : string option ref = ref None
+let bench_rows : bench_row list ref = ref []
+
+let add_row ?executions_reduced ?reduction ~section ~cls ~config ~wall_s ~executions () =
+  bench_rows :=
+    {
+      row_section = section;
+      row_class = cls;
+      row_config = config;
+      row_wall_s = wall_s;
+      row_executions = executions;
+      row_executions_reduced = executions_reduced;
+      row_reduction = reduction;
+    }
+    :: !bench_rows
+
+let write_json ~total_wall_s =
+  match !json_out with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 4096 in
+    let row r =
+      Printf.bprintf buf
+        "    {\"section\": %S, \"class\": %S, \"config\": %S, \"wall_s\": %.3f, \
+         \"executions\": %d"
+        r.row_section r.row_class r.row_config r.row_wall_s r.row_executions;
+      (match r.row_executions_reduced with
+       | Some n -> Printf.bprintf buf ", \"executions_reduced\": %d" n
+       | None -> ());
+      (match r.row_reduction with
+       | Some f -> Printf.bprintf buf ", \"reduction\": %.2f" f
+       | None -> ());
+      Buffer.add_string buf "}"
+    in
+    Buffer.add_string buf "{\n  \"schema\": \"lineup-bench/1\",\n";
+    Printf.bprintf buf "  \"total_wall_s\": %.1f,\n" total_wall_s;
+    Buffer.add_string buf "  \"results\": [\n";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        row r)
+      (List.rev !bench_rows);
+    Buffer.add_string buf "\n  ]\n}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Fmt.pr "[bench] wrote results to %s@." path
+
 type options = {
   samples : int;  (* RandomCheck sample size per class (paper: 100) *)
   rows : int;  (* operations per thread (paper: 3) *)

@@ -33,7 +33,7 @@ let () =
         "N  run Figure N (1|7|9)" );
       ( "--section",
         Arg.String (select (fun s -> sel.sections <- s :: sel.sections)),
-        "S  run Section S (5.5|5.6|5.7|parallel)" );
+        "S  run Section S (5.5|5.6|5.7|parallel|por)" );
       ( "--ablation",
         Arg.String (select (fun s -> sel.ablations <- s :: sel.ablations)),
         "A  run ablation A (pb|sampling|stress|phase1|icb|dedup)" );
@@ -56,6 +56,9 @@ let () =
       ( "--metrics",
         Arg.String (fun f -> metrics_out := Some f),
         "FILE  write the aggregated JSON metrics summary to FILE" );
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "FILE  write machine-readable per-artifact results to FILE (lineup-bench/1)" );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "lineup benchmarks";
@@ -74,6 +77,7 @@ let () =
   if want_section "5.6" then Sections.s56 opts;
   if want_section "5.7" then Sections.s57 opts;
   if want_section "parallel" then Parallel_scaling.run opts;
+  if want_section "por" then Por_bench.run opts;
   if want_ablation "pb" then Ablations.pb_sweep opts;
   if want_ablation "sampling" then Ablations.sampling opts;
   if want_ablation "stress" then Ablations.systematic_vs_stress opts;
@@ -82,4 +86,6 @@ let () =
   if want_ablation "dedup" then Ablations.dedup opts;
   if sel.all || sel.bechamel then Bechamel_bench.run ();
   write_metrics ();
-  Fmt.pr "@.[bench] total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  write_json ~total_wall_s:total;
+  Fmt.pr "@.[bench] total wall time: %.1fs@." total

@@ -98,8 +98,8 @@ let parse_column s =
   String.split_on_char ',' s |> List.filter (fun x -> String.trim x <> "")
   |> List.map parse_invocation
 
-let config_of ~pb ~cap ~classic =
-  Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic ()
+let config_of ?(por = false) ~pb ~cap ~classic () =
+  Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic ~por ()
 
 (* --cancel-after N: a deterministic cancellation token that fires after N
    polls — a testing aid exercising the Cancelled verdict and exit code. *)
@@ -112,14 +112,14 @@ let cancel_after = function
         incr polls;
         !polls > n)
 
-let check_cmd_run name columns pb cap classic jobs frontier_depth cancel_polls verbose cache_dir
-    metrics_file trace_file =
+let check_cmd_run name columns pb cap classic por jobs frontier_depth cancel_polls verbose
+    cache_dir metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
     let config =
-      let c = config_of ~pb ~cap ~classic in
+      let c = config_of ~por ~pb ~cap ~classic () in
       { c with Check.phase2_domains = jobs; phase2_frontier_depth = frontier_depth }
     in
     let cancelled = cancel_after cancel_polls in
@@ -135,12 +135,12 @@ let check_cmd_run name columns pb cap classic jobs frontier_depth cancel_polls v
     else if Check.cancelled r then `Ok exit_cancelled
     else `Ok exit_violation
 
-let random_cmd_run name rows cols samples seed pb cap stop_at_first domains metrics_file
+let random_cmd_run name rows cols samples seed pb cap por stop_at_first domains metrics_file
     trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
-    let config = config_of ~pb ~cap ~classic:false in
+    let config = config_of ~por ~pb ~cap ~classic:false () in
     let report =
       with_observability ~metrics_file ~trace_file (fun metrics ->
           Random_check.run_parallel ~config ~stop_at_first ?metrics ~domains ~seed
@@ -156,14 +156,14 @@ let random_cmd_run name rows cols samples seed pb cap stop_at_first domains metr
      | None -> ());
     if report.Random_check.failed = 0 then `Ok 0 else `Ok exit_violation
 
-let auto_cmd_run name max_tests pb cap domains metrics_file trace_file =
+let auto_cmd_run name max_tests pb cap por domains metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     match
       with_observability ~metrics_file ~trace_file (fun metrics ->
           Auto_check.run
-            ~config:(config_of ~pb ~cap ~classic:false)
+            ~config:(config_of ~por ~pb ~cap ~classic:false ())
             ~domains ?metrics ~max_tests adapter)
     with
     | Auto_check.Failed { test; result; tests_run; stats } ->
@@ -193,7 +193,7 @@ let minimize_cmd_run name columns pb =
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     let test = Test_matrix.make (List.map parse_column columns) in
-    let config = config_of ~pb ~cap:None ~classic:false in
+    let config = config_of ~pb ~cap:None ~classic:false () in
     match Minimize.reduce ~config adapter test with
     | r ->
       Fmt.pr "minimal failing test (%d checks spent):@.%a@.%s@." r.Minimize.checks_spent
@@ -202,7 +202,7 @@ let minimize_cmd_run name columns pb =
       `Ok 0
     | exception Invalid_argument msg -> `Error (false, msg))
 
-let compare_cmd_run name columns jobs frontier_depth tso metrics_file trace_file =
+let compare_cmd_run name columns por jobs frontier_depth tso metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
@@ -220,7 +220,8 @@ let compare_cmd_run name columns jobs frontier_depth tso metrics_file trace_file
     let config =
       {
         Check.default_config with
-        Check.phase2_domains = jobs;
+        Check.phase2 = { Check.default_config.Check.phase2 with Explore.por };
+        phase2_domains = jobs;
         phase2_frontier_depth = frontier_depth;
       }
     in
@@ -316,6 +317,18 @@ let classic_arg =
     & info [ "classic" ]
         ~doc:"Check classic linearizability only (Definition 1; skip stuck-history checking).")
 
+let por_arg =
+  Arg.(
+    value & flag
+    & info [ "por" ]
+        ~doc:
+          "Enable dynamic partial-order reduction in phase 2: commuting interleavings of \
+           independent shared accesses are explored once instead of once per order. The \
+           verdict, the distinct-history set and the exit code are unchanged — only \
+           $(b,explore.phase2.executions) shrinks (operation call/return order is never \
+           reordered, so no history is lost). Phase 1 (serial mode) is never reduced: its \
+           interleavings $(i,are) the specification. Off by default.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report output.")
 
 let domain_count =
@@ -409,7 +422,7 @@ let check_cmd =
        ~doc:"Run the two-phase Check(X, m) on an explicit test matrix")
     Term.(
       ret
-        (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
+        (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg $ por_arg
          $ check_jobs_arg $ frontier_depth_arg $ cancel_after_arg $ verbose_arg $ cache_dir_arg
          $ metrics_arg $ trace_arg))
 
@@ -424,8 +437,8 @@ let random_cmd =
        ~doc:"RandomCheck: check a uniform random sample of tests (Fig. 8)")
     Term.(
       ret
-        (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg $ stop
-         $ jobs_arg $ metrics_arg $ trace_arg))
+        (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg
+         $ por_arg $ stop $ jobs_arg $ metrics_arg $ trace_arg))
 
 let auto_cmd =
   let max_tests =
@@ -436,8 +449,8 @@ let auto_cmd =
        ~doc:"AutoCheck: systematic test enumeration (Fig. 6)")
     Term.(
       ret
-        (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ jobs_arg $ metrics_arg
-         $ trace_arg))
+        (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ por_arg $ jobs_arg
+         $ metrics_arg $ trace_arg))
 
 let observe_cmd =
   let output =
@@ -475,7 +488,8 @@ let compare_cmd =
           informational — the paper's false alarms on lock-free code), 2 when cancelled.")
     Term.(
       ret
-        (const compare_cmd_run $ name_arg $ columns_arg $ check_jobs_arg $ frontier_depth_arg
+        (const compare_cmd_run $ name_arg $ columns_arg $ por_arg $ check_jobs_arg
+         $ frontier_depth_arg
          $ tso_arg $ metrics_arg $ trace_arg))
 
 let repro_cmd =

@@ -25,7 +25,7 @@ let default_config =
   }
 
 let config_with ?preemption_bound ?max_executions ?(classic_only = false) ?phase2_domains
-    ?(frontier_depth = default_config.phase2_frontier_depth) () =
+    ?(frontier_depth = default_config.phase2_frontier_depth) ?(por = false) () =
   let phase2 = default_config.phase2 in
   let phase2 =
     match preemption_bound with
@@ -37,6 +37,9 @@ let config_with ?preemption_bound ?max_executions ?(classic_only = false) ?phase
     | Some cap -> { phase2 with Explore.max_executions = cap }
     | None -> phase2
   in
+  (* POR applies to phase 2 only: phase 1's serial enumeration is the
+     specification synthesis and must see every serial order (§4.3). *)
+  let phase2 = { phase2 with Explore.por } in
   {
     default_config with
     phase2;
@@ -188,6 +191,11 @@ type p2_state = {
   witness_probes : int ref;
   mutable stuck_checks : int;
   stuck_probes : int ref;
+  (* Order-independent fingerprint of the distinct-history set: a masked
+     sum of structural hashes, merged by addition, so it is identical
+     across [-j] modes and — when the reduction is sound — across
+     [por] on/off. The CI equivalence gate compares it. *)
+  mutable fp_acc : int;
   (* Distinct histories seen: schedules frequently reproduce the same
      event sequence, and the witness verdict only depends on the history,
      so each distinct one is checked once. (Scoped to this state — the
@@ -205,8 +213,14 @@ let p2_init () =
     witness_probes = ref 0;
     stuck_checks = 0;
     stuck_probes = ref 0;
+    fp_acc = 0;
     seen = Hashtbl.create 256;
   }
+
+let fp_mask = 0x3FFF_FFFF_FFFF (* 46 bits: summable without overflow on 63-bit ints *)
+
+let history_fingerprint h =
+  Hashtbl.hash_param 256 256 (History.events h, History.is_stuck h) land fp_mask
 
 let p2_step config ~observation st (r : Harness.run_result) =
   match exception_of r.outcome with
@@ -221,6 +235,7 @@ let p2_step config ~observation st (r : Harness.run_result) =
   | None ->
     Hashtbl.replace st.seen (History.events r.history, History.is_stuck r.history) ();
     st.histories <- st.histories + 1;
+    st.fp_acc <- (st.fp_acc + history_fingerprint r.history) land fp_mask;
     if History.is_stuck r.history then
       if config.classic_only then `Continue
       else begin
@@ -249,6 +264,7 @@ let p2_merge a b =
     witness_probes = ref (!(a.witness_probes) + !(b.witness_probes));
     stuck_checks = a.stuck_checks + b.stuck_checks;
     stuck_probes = ref (!(a.stuck_probes) + !(b.stuck_probes));
+    fp_acc = (a.fp_acc + b.fp_acc) land fp_mask;
     seen = Hashtbl.create 1;
   }
 
@@ -260,6 +276,7 @@ let p2_counters st =
     "witness_probes", !(st.witness_probes);
     "stuck_checks", st.stuck_checks;
     "stuck_probes", !(st.stuck_probes);
+    "histories_fingerprint", st.fp_acc;
     "violation", (if st.found = None then 0 else 1);
   ]
 

@@ -45,15 +45,18 @@ type config = {
 val default_config : config
 
 (** [config_with ?preemption_bound ?max_executions ?classic_only
-    ?phase2_domains ?frontier_depth ()] derives a configuration from
+    ?phase2_domains ?frontier_depth ?por ()] derives a configuration from
     {!default_config}; [max_executions] bounds phase 2 only (per partition
-    when the frontier path is active). *)
+    when the frontier path is active). [por] (default [false]) enables
+    dynamic partial-order reduction in phase 2; phase 1's serial
+    enumeration is never reduced (completeness, §4.3). *)
 val config_with :
   ?preemption_bound:int option ->
   ?max_executions:int option ->
   ?classic_only:bool ->
   ?phase2_domains:int ->
   ?frontier_depth:int ->
+  ?por:bool ->
   unit ->
   config
 

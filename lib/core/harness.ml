@@ -20,6 +20,12 @@ let callbacks ~(adapter : Adapter.t) ~(test : Test_matrix.t) ~on_history =
     record (Event.call ~tid ~op_index inv);
     Exec_ctx.log (Exec_ctx.Op_start { tid; op_index });
     let resp = inst.invoke inv in
+    (* The return marker is its own scheduling point (no-op in serial mode):
+       the step recording the return event then carries an event footprint,
+       so the partial-order reduction never commutes two returns — if it
+       stayed inside the operation's last access step, two independent
+       accesses' steps would swap and silently reorder the history. *)
+    Rt.sched Rt.Return_boundary;
     Exec_ctx.log (Exec_ctx.Op_end { tid; op_index });
     record (Event.return ~tid ~op_index resp)
   in
@@ -68,17 +74,17 @@ let callbacks ~(adapter : Adapter.t) ~(test : Test_matrix.t) ~on_history =
 let scoped_log log body =
   match log with None -> body () | Some enabled -> Exec_ctx.with_logging enabled body
 
-let run_phase ?log cfg ~adapter ~test ~on_history =
+let run_phase ?log ?admit cfg ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
-  scoped_log log (fun () -> Explore.explore cfg ~setup ~on_execution)
+  scoped_log log (fun () -> Explore.explore cfg ?admit ~setup ~on_execution ())
 
 let split_phase ?log cfg ~depth ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
   scoped_log log (fun () -> Explore.split cfg ~depth ~setup ~on_execution)
 
-let run_phase_from ?log cfg ~prefix ~adapter ~test ~on_history =
+let run_phase_from ?log ?admit cfg ~prefix ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in
-  scoped_log log (fun () -> Explore.explore_from cfg ~prefix ~setup ~on_execution)
+  scoped_log log (fun () -> Explore.explore_from cfg ?admit ~prefix ~setup ~on_execution ())
 
 let run_phase_random ?log cfg ~rng ~executions ~adapter ~test ~on_history =
   let setup, on_execution = callbacks ~adapter ~test ~on_history in

@@ -21,6 +21,9 @@ let add_explore_stats m ~prefix (s : Explore.stats) =
   c "preemptions" s.Explore.preemptions_spent;
   c "yields" s.Explore.yields;
   c "choice_points" s.Explore.choice_points;
+  c "exact_bound_skips" s.Explore.exact_bound_skips;
+  c "por.sleep_set_skips" s.Explore.sleep_set_skips;
+  c "por.backtrack_points" s.Explore.backtrack_points;
   c "incomplete" (if s.Explore.complete then 0 else 1)
 
 let add_analyzer_metrics m pack =

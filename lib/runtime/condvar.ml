@@ -29,7 +29,10 @@ let wait cv m =
   let my_ticket = cv.next_ticket in
   cv.next_ticket <- cv.next_ticket + 1;
   Mutex_.release m;
+  (* The woken step only re-reads the wake bookkeeping before heading into
+     [Mutex_.acquire], which declares its own scheduling point. *)
   Rt.block
+    ~footprint:(Footprint.access ~loc:cv.id ~kind:Exec_ctx.Read)
     ~wake:(fun () -> cv.generation > my_generation || cv.tickets > my_ticket)
     ("condvar " ^ cv.name);
   Mutex_.acquire m

@@ -1,0 +1,29 @@
+type t =
+  | Pure
+  | Access of { loc : int; kind : Exec_ctx.access_kind }
+  | Event
+  | Unknown
+
+let pure = Pure
+let access ~loc ~kind = Access { loc; kind }
+let event = Event
+let unknown = Unknown
+
+let writes = function Exec_ctx.Read -> false | Exec_ctx.Write | Exec_ctx.Rmw -> true
+
+let conflicts a b =
+  match a, b with
+  | Pure, _ | _, Pure -> false
+  | Unknown, _ | _, Unknown -> true
+  | Event, Event -> true
+  | Event, Access _ | Access _, Event -> false
+  | Access x, Access y -> x.loc = y.loc && (writes x.kind || writes y.kind)
+
+let pp ppf = function
+  | Pure -> Fmt.string ppf "pure"
+  | Access { loc; kind } ->
+    Fmt.pf ppf "%s loc%d"
+      (match kind with Exec_ctx.Read -> "read" | Exec_ctx.Write -> "write" | Exec_ctx.Rmw -> "rmw")
+      loc
+  | Event -> Fmt.string ppf "event"
+  | Unknown -> Fmt.string ppf "unknown"

@@ -1,0 +1,40 @@
+(** First-class access footprints for scheduling steps.
+
+    A {e step} is everything a thread executes between two scheduling
+    points. Because every modeled shared access performs its scheduling
+    effect {e before} touching shared state, a suspended thread's next step
+    has a statically known footprint: the access it is suspended at (plus
+    only thread-local work up to its next suspension). The explorer's
+    partial-order reduction uses these footprints to decide which pending
+    steps commute; they are also the declared hook point for relaxed-memory
+    exploration (ROADMAP item 4), where store-buffer flush steps will carry
+    their own footprints.
+
+    Conservatism contract: when a step's effect on shared state cannot be
+    described precisely, it must be classified {!Unknown} — [Unknown]
+    conflicts with everything except {!Pure}, so imprecision can only cost
+    reduction, never soundness. *)
+
+type t =
+  | Pure  (** touches no modeled shared state (e.g. a spin-loop body) *)
+  | Access of { loc : int; kind : Exec_ctx.access_kind }
+      (** exactly one access to shared location [loc]; lock operations are
+          [Rmw] accesses to the lock's location *)
+  | Event
+      (** emits operation call/return events into the history log; event
+          order {e is} the history, so two [Event] steps never commute *)
+  | Unknown  (** conservatively conflicts with every non-[Pure] step *)
+
+val pure : t
+val access : loc:int -> kind:Exec_ctx.access_kind -> t
+val event : t
+val unknown : t
+
+(** [conflicts a b] — the steps do {e not} commute: executing them in either
+    order may lead to different states or different histories. Symmetric.
+    [Pure] conflicts with nothing; [Unknown] with everything non-[Pure];
+    [Event] with [Event]; two [Access]es iff they touch the same location
+    and at least one writes. *)
+val conflicts : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

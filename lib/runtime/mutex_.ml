@@ -24,12 +24,19 @@ let take m =
   m.holder <- Some (Rt.self ());
   log_acquire m
 
+(* The step a woken waiter executes re-checks the holder and takes the
+   lock: an Rmw of the lock's location, declared so the partial-order
+   reduction need not treat lock hand-offs as opaque. *)
+let block_footprint m = Footprint.access ~loc:m.id ~kind:Exec_ctx.Rmw
+
 let acquire m =
   sched m;
   (* After [block] returns the predicate holds and nothing has run since, so
      taking the lock here is atomic. The loop guards the first iteration. *)
   while Option.is_some m.holder do
-    Rt.block ~wake:(fun () -> Option.is_none m.holder) ("lock " ^ m.name)
+    Rt.block ~footprint:(block_footprint m)
+      ~wake:(fun () -> Option.is_none m.holder)
+      ("lock " ^ m.name)
   done;
   take m
 
@@ -50,7 +57,9 @@ let try_acquire_timed m =
   else if Rt.choose ~what:("timeout on " ^ m.name) 2 = 0 then false (* timed out *)
   else begin
     while Option.is_some m.holder do
-      Rt.block ~wake:(fun () -> Option.is_none m.holder) ("lock " ^ m.name)
+      Rt.block ~footprint:(block_footprint m)
+        ~wake:(fun () -> Option.is_none m.holder)
+        ("lock " ^ m.name)
     done;
     take m;
     true

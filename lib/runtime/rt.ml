@@ -1,5 +1,6 @@
 type sched_reason =
   | Boundary
+  | Return_boundary
   | Access of {
       loc : int;
       loc_name : string;
@@ -9,14 +10,14 @@ type sched_reason =
 
 type _ Effect.t +=
   | Sched : sched_reason -> unit Effect.t
-  | Block : (unit -> bool) * string -> unit Effect.t
+  | Block : (unit -> bool) * string * Footprint.t -> unit Effect.t
   | Choose : int * string -> int Effect.t
   | Yield : unit Effect.t
 
 let sched r =
   Effect.perform (Sched r);
   match r with
-  | Boundary -> ()
+  | Boundary | Return_boundary -> ()
   | Access a ->
     if Exec_ctx.logging_enabled () then
       Exec_ctx.log
@@ -30,7 +31,8 @@ let sched r =
            })
 
 let op_boundary () = sched Boundary
-let block ~wake what = if not (wake ()) then Effect.perform (Block (wake, what))
+let block ?(footprint = Footprint.unknown) ~wake what =
+  if not (wake ()) then Effect.perform (Block (wake, what, footprint))
 let choose ?(what = "choice") n = Effect.perform (Choose (n, what))
 let yield () = Effect.perform Yield
 let self () = Exec_ctx.current_tid ()
@@ -45,7 +47,7 @@ let run_inline (type a) (f : unit -> a) : a =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
           | Sched _ -> Some (fun (k : (b, a) continuation) -> continue k ())
-          | Block (wake, what) ->
+          | Block (wake, what, _) ->
             Some
               (fun (k : (b, a) continuation) ->
                 if wake () then continue k ()

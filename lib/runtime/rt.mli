@@ -9,9 +9,16 @@
     Scheduling-point discipline:
     - {!sched} with [Access _] precedes every shared read/write/RMW. The code
       between a scheduling point and the next one executes atomically.
-    - {!sched} with [Boundary] is performed by the test harness at operation
-      call/return boundaries; in phase 1 (serial exploration) these are the
-      only points where the scheduler switches threads.
+    - {!sched} with [Boundary] is performed by the test harness before each
+      operation call; in phase 1 (serial exploration) these are the only
+      points where the scheduler switches threads.
+    - {!sched} with [Return_boundary] is performed by the test harness just
+      before recording an operation's return event. In concurrent mode it is
+      a scheduling point like [Boundary] (CHESS schedules at the call/return
+      markers themselves), which makes the event-emitting step visible to
+      the partial-order reduction; in serial mode it is a no-op, so an
+      operation runs atomically through its return and phase-1 histories
+      stay serial.
     - {!block} suspends the thread until a wake predicate holds; blocked
       threads are disabled, not spinning, so deadlocks are detected exactly
       (Definition 2 of the paper needs this).
@@ -25,6 +32,7 @@
 
 type sched_reason =
   | Boundary
+  | Return_boundary
   | Access of {
       loc : int;
       loc_name : string;
@@ -34,7 +42,7 @@ type sched_reason =
 
 type _ Effect.t +=
   | Sched : sched_reason -> unit Effect.t
-  | Block : (unit -> bool) * string -> unit Effect.t
+  | Block : (unit -> bool) * string * Footprint.t -> unit Effect.t
   | Choose : int * string -> int Effect.t
   | Yield : unit Effect.t
 
@@ -44,12 +52,17 @@ val sched : sched_reason -> unit
 (** [op_boundary ()] = [sched Boundary]. *)
 val op_boundary : unit -> unit
 
-(** [block ~wake what] suspends the calling thread until [wake ()] holds. If
-    the predicate already holds, returns immediately (without a scheduling
-    point). [wake] must be pure reads of shared state — it is evaluated by
-    the scheduler and must not perform effects. [what] describes the awaited
-    condition for reports. *)
-val block : wake:(unit -> bool) -> string -> unit
+(** [block ?footprint ~wake what] suspends the calling thread until
+    [wake ()] holds. If the predicate already holds, returns immediately
+    (without a scheduling point). [wake] must be pure reads of shared state
+    — it is evaluated by the scheduler and must not perform effects. [what]
+    describes the awaited condition for reports.
+
+    [footprint] describes the shared-state effect of the step the thread
+    will execute once woken (e.g. re-checking and taking a lock is an [Rmw]
+    of the lock's location); defaults to {!Footprint.unknown}, which the
+    partial-order reduction treats as conflicting with everything. *)
+val block : ?footprint:Footprint.t -> wake:(unit -> bool) -> string -> unit
 
 (** [choose ?what n] demonically picks a value in [0 .. n-1]; the model
     checker explores all branches. *)

@@ -1,5 +1,6 @@
 module Rt = Lineup_runtime.Rt
 module Exec_ctx = Lineup_runtime.Exec_ctx
+module Footprint = Lineup_runtime.Footprint
 
 type mode = Concurrent | Serial
 
@@ -8,13 +9,26 @@ type config = {
   preemption_bound : int option;
   max_steps : int;
   max_executions : int option;
+  por : bool;
 }
 
 let default_config =
-  { mode = Concurrent; preemption_bound = Some 2; max_steps = 50_000; max_executions = None }
+  {
+    mode = Concurrent;
+    preemption_bound = Some 2;
+    max_steps = 50_000;
+    max_executions = None;
+    por = false;
+  }
 
 let serial_config =
-  { mode = Serial; preemption_bound = None; max_steps = 50_000; max_executions = None }
+  {
+    mode = Serial;
+    preemption_bound = None;
+    max_steps = 50_000;
+    max_executions = None;
+    por = false;
+  }
 
 type exec_end =
   | All_finished
@@ -29,6 +43,7 @@ type exec_outcome = {
   yields : int;
   choice_points : int;
   errors : (int * exn) list;
+  por_pruned : bool;
 }
 
 type stats = {
@@ -43,6 +58,8 @@ type stats = {
   yields : int;
   choice_points : int;
   exact_bound_skips : int;
+  sleep_set_skips : int;
+  backtrack_points : int;
   complete : bool;
 }
 
@@ -66,6 +83,8 @@ let empty_stats =
     yields = 0;
     choice_points = 0;
     exact_bound_skips = 0;
+    sleep_set_skips = 0;
+    backtrack_points = 0;
     complete = true;
   }
 
@@ -82,6 +101,8 @@ let merge_stats a b =
     yields = a.yields + b.yields;
     choice_points = a.choice_points + b.choice_points;
     exact_bound_skips = a.exact_bound_skips + b.exact_bound_skips;
+    sleep_set_skips = a.sleep_set_skips + b.sleep_set_skips;
+    backtrack_points = a.backtrack_points + b.backtrack_points;
     complete = a.complete && b.complete;
   }
 
@@ -90,24 +111,75 @@ let merge_stats a b =
 (* ------------------------------------------------------------------ *)
 
 (* Decision records are shared between the replay prefix and the trace being
-   built, so mutating [chosen]/[untried] during backtracking persists into
-   the next execution. *)
+   built, so mutating them during backtracking persists into the next
+   execution. A [Thread] decision is a full choice point: besides the chosen
+   thread and its pending alternatives it carries the schedulable candidate
+   set, the footprint of the executed step and the sleep-set bookkeeping the
+   partial-order reduction maintains across siblings ([explored], [sleep]).
+   Outside POR mode the extra fields are dead weight kept empty. *)
 type decision =
-  | Thread of { mutable chosen : int; mutable untried : int list }
+  | Thread of {
+      mutable chosen : int;
+      mutable untried : int list;
+      mutable explored : int list;  (** siblings already fully explored *)
+      mutable sleep : int list;  (** sleep set on entry, refreshed on replay *)
+      mutable candidates : int list;  (** all schedulable choices here *)
+      mutable free : int list;  (** the non-preempting subset *)
+      mutable fp : Footprint.t;  (** footprint of the executed step *)
+      mutable sleep_ok : bool;
+          (** may [chosen] enter sibling sleep sets once flipped past?
+              Always under no bound; under a finite preemption bound only
+              when [chosen] was a free choice whose step ended at a
+              voluntary suspension (see the soundness note at {!por}). *)
+      frozen : bool;  (** thawed frontier prefix: never backtracked *)
+    }
   | Value of { mutable chosen : int; mutable untried : int list; arity : int }
+
+let thread_decision chosen ~untried ~sleep ~candidates ~free =
+  Thread
+    {
+      chosen;
+      untried;
+      explored = [];
+      sleep;
+      candidates;
+      free;
+      fp = Footprint.pure;
+      sleep_ok = false;
+      frozen = false;
+    }
 
 exception Killed
 
+(* Raised by a POR decider when every schedulable choice is in the sleep
+   set: the execution's continuation only re-interleaves independent steps
+   already covered by an explored sibling subtree. The engine kills the
+   execution and the driver does not report it. *)
+exception Sleep_blocked
+
 (* The per-execution decision callbacks. [free]/[costly] partition the
-   schedulable threads: picking a costly one consumes a preemption. *)
+   schedulable threads: picking a costly one consumes a preemption.
+   [pending t] is the access footprint of thread [t]'s next step (the
+   suspension it would resume from). [note_end ~voluntary] is called by the
+   engine right after each chosen step runs to its next suspension,
+   reporting whether that suspension is voluntary — the reduction needs the
+   end kind of a step to decide whether it may enter sleep sets under a
+   preemption bound. *)
 type decider = {
-  decide_thread : free:int list -> costly:int list -> int;
+  decide_thread : free:int list -> costly:int list -> pending:(int -> Footprint.t) -> int;
   decide_value : arity:int -> int;
+  note_end : voluntary:bool -> unit;
 }
 
 type thread_state =
-  | Ready of { resume : unit -> unit; abort : unit -> unit }
-  | Blocked of { wake : unit -> bool; what : string; resume : unit -> unit; abort : unit -> unit }
+  | Ready of { resume : unit -> unit; abort : unit -> unit; fp : Footprint.t }
+  | Blocked of {
+      wake : unit -> bool;
+      what : string;
+      resume : unit -> unit;
+      abort : unit -> unit;
+      fp : Footprint.t;
+    }
   | Finished
 
 (* ------------------------------------------------------------------ *)
@@ -130,9 +202,13 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
   let killing = ref false in
   let open Effect.Deep in
   let handler i =
-    let suspend ~voluntary k =
+    (* [fp] is the footprint of the step the thread will execute when next
+       resumed: the access it suspends at. Boundary steps emit call/return
+       events (event order is the history, so they never commute); yield
+       steps interact with the fairness state and are kept opaque. *)
+    let suspend ~voluntary ~fp k =
       status.(i) <-
-        Ready { resume = (fun () -> continue k ()); abort = (fun () -> discontinue k Killed) };
+        Ready { resume = (fun () -> continue k ()); abort = (fun () -> discontinue k Killed); fp };
       last_voluntary := voluntary
     in
     {
@@ -154,13 +230,17 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
                 if !killing then continue k ()
                 else begin
                   match reason, cfg.mode with
-                  | Rt.Access _, Serial ->
-                    (* no mid-operation scheduling in serial mode *)
+                  | (Rt.Access _ | Rt.Return_boundary), Serial ->
+                    (* no mid-operation scheduling in serial mode; an
+                       operation runs atomically through its return *)
                     continue k ()
-                  | Rt.Access _, Concurrent -> suspend ~voluntary:false k
-                  | Rt.Boundary, _ -> suspend ~voluntary:true k
+                  | Rt.Access a, Concurrent ->
+                    suspend ~voluntary:false ~fp:(Footprint.access ~loc:a.loc ~kind:a.kind) k
+                  | (Rt.Boundary | Rt.Return_boundary), Concurrent ->
+                    suspend ~voluntary:true ~fp:Footprint.event k
+                  | Rt.Boundary, Serial -> suspend ~voluntary:true ~fp:Footprint.event k
                 end)
-          | Rt.Block (wake, what) ->
+          | Rt.Block (wake, what, fp) ->
             Some
               (fun (k : (b, unit) continuation) ->
                 if !killing then discontinue k Killed
@@ -172,6 +252,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
                         what;
                         resume = (fun () -> continue k ());
                         abort = (fun () -> discontinue k Killed);
+                        fp;
                       };
                   last_voluntary := true
                 end)
@@ -189,7 +270,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
                   | Concurrent ->
                     yielded.(i) <- true;
                     incr yields;
-                    suspend ~voluntary:true k
+                    suspend ~voluntary:true ~fp:Footprint.unknown k
                 end)
           | Rt.Choose (arity, _) ->
             Some
@@ -206,6 +287,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
           {
             resume = (fun () -> match_with body () (handler i));
             abort = (fun () -> status.(i) <- Finished);
+            fp = Footprint.pure;
           })
     threads;
   let kill_all () =
@@ -236,6 +318,11 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
     done;
     !acc
   in
+  let pending t =
+    match status.(t) with
+    | Ready { fp; _ } | Blocked { fp; _ } -> fp
+    | Finished -> Footprint.pure
+  in
   let resume_thread i =
     match status.(i) with
     | Ready { resume; _ } | Blocked { resume; _ } ->
@@ -263,6 +350,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
         end
       | Blocked _ | Finished -> ())
     status;
+  let por_blocked = ref false in
   let rec loop () =
     if Option.is_some !prerun_blocked then begin
       kill_all ();
@@ -312,24 +400,32 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
            schedulable. Counted outside the decider so replayed prefixes and
            fresh decisions weigh the same. *)
         if List.compare_length_with free 1 > 0 || costly <> [] then incr choice_points;
-        let chosen = decider.decide_thread ~free ~costly in
-        if not (List.mem chosen free || List.mem chosen costly) then
-          Fmt.invalid_arg "Explore: replayed decision chose unschedulable thread %d" chosen;
-        if List.mem chosen costly then incr preemptions;
-        Array.iteri (fun j flag -> if flag && j <> chosen then yielded.(j) <- false) yielded;
-        incr steps;
-        resume_thread chosen;
-        if
-          cfg.mode = Serial
-          && (match status.(chosen) with Blocked { wake; _ } -> not (wake ()) | _ -> false)
-        then begin
+        match decider.decide_thread ~free ~costly ~pending with
+        | exception Sleep_blocked ->
+          (* The reduction proved the continuation redundant; abandon the
+             execution. The driver counts it and drops its history. *)
+          por_blocked := true;
           kill_all ();
-          Serial_stuck chosen
-        end
-        else begin
-          last_running := Some chosen;
-          loop ()
-        end
+          All_finished
+        | chosen ->
+          if not (List.mem chosen free || List.mem chosen costly) then
+            Fmt.invalid_arg "Explore: replayed decision chose unschedulable thread %d" chosen;
+          if List.mem chosen costly then incr preemptions;
+          Array.iteri (fun j flag -> if flag && j <> chosen then yielded.(j) <- false) yielded;
+          incr steps;
+          resume_thread chosen;
+          decider.note_end ~voluntary:!last_voluntary;
+          if
+            cfg.mode = Serial
+            && (match status.(chosen) with Blocked { wake; _ } -> not (wake ()) | _ -> false)
+          then begin
+            kill_all ();
+            Serial_stuck chosen
+          end
+          else begin
+            last_running := Some chosen;
+            loop ()
+          end
     end
   in
   let exec_end = loop () in
@@ -340,7 +436,113 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
     yields = !yields;
     choice_points = !choice_points;
     errors = List.rev !errors;
+    por_pruned = !por_blocked;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic partial-order reduction (sleep sets + backtrack sets)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-execution reduction state. [path] is the executed steps of the
+   current execution, newest first, each carrying the thread, the step's
+   footprint and the decision record it was chosen at — the substrate of
+   the last-conflicting-access analysis. [sleep] is the current sleep set:
+   threads whose pending step commutes with everything executed since an
+   explored sibling covered them. [backtracks] survives the execution (it
+   accumulates into the run statistics).
+
+   Soundness under a preemption bound. Classic DPOR (lazy backtrack sets)
+   and classic sleep sets both justify pruning by commuting independent
+   steps: the pruned execution has a Mazurkiewicz-equivalent witness in an
+   explored sibling subtree. Under a finite preemption bound that argument
+   breaks, because commuting adjacent steps can shift which context
+   switches count as preemptions — the witness may cost more than the
+   bound even though the pruned execution did not, so the "covered"
+   behavior is in fact never explored (observable as lost histories).
+
+   The bounded mode therefore branches eagerly (every schedulable
+   alternative is an untried sibling, exactly like the unreduced explorer)
+   and takes its reduction from sleep sets alone, with a cost-aware
+   admission rule: an explored sibling [x] may enter the sleep set only if
+   (a) [x] was a free (non-preempting) choice at its node and (b) [x]'s
+   step ends at a voluntary suspension. Under (a) and (b), moving [x] from
+   any later position of a pruned execution to the front costs no extra
+   preemption at any prefix: (a) makes the switch into [x] free, (b) makes
+   the switch out of [x] free, and the bridged transition where [x] was
+   removed can only get cheaper (the step before it keeps its end kind and
+   [x] ran on a different thread). So the commuted witness respects the
+   same budget and the sibling subtree really contains it. Steps end
+   deterministically (same state, same step), so (b) — observed when the
+   sibling executed — is a property of the node, not of one execution.
+
+   Without a bound every schedule is affordable, the cost argument is
+   vacuous, and the full lazy DPOR (persistent/backtrack sets + unrestricted
+   sleep sets) applies. *)
+type por = {
+  bounded : bool;
+  mutable path : (int * Footprint.t * decision) list;
+  mutable sleep : int list;
+  backtracks : int ref;
+}
+
+let por_fresh ~bounded ~backtracks = { bounded; path = []; sleep = []; backtracks }
+
+(* Request that sibling [q] be explored at decision [d]. No-op on frozen
+   (frontier-prefix) records — their siblings are other partitions — and on
+   choices already chosen, explored, pending or asleep at [d]. *)
+let por_request por d q =
+  match d with
+  | Thread t when not t.frozen ->
+    if
+      q <> t.chosen
+      && (not (List.mem q t.explored))
+      && (not (List.mem q t.untried))
+      && not (List.mem q t.sleep)
+    then begin
+      t.untried <- t.untried @ [ q ];
+      incr por.backtracks
+    end
+  | Thread _ | Value _ -> ()
+
+(* The dynamic backtrack-set computation, run at every scheduling point for
+   every schedulable candidate [q]: find the most recent executed step of a
+   different thread whose footprint conflicts with [q]'s pending step, and
+   request [q] (or, if [q] was not schedulable there, every choice that
+   was) at that point. Only used without a preemption bound — the bounded
+   mode branches eagerly and reduces with sleep sets alone (see {!por}). *)
+let por_analyze por ~candidates ~pending =
+  List.iter
+    (fun q ->
+      let fq = pending q in
+      let rec scan = function
+        | [] -> ()
+        | (t', fp', d') :: rest ->
+          if t' <> q && Footprint.conflicts fp' fq then begin
+            match d' with
+            | Thread t when not t.frozen ->
+              if List.mem q t.candidates then por_request por d' q
+              else List.iter (fun c -> por_request por d' c) t.candidates
+            | Thread _ | Value _ -> ()
+          end
+          else scan rest
+      in
+      scan por.path)
+    candidates
+
+(* Commit the choice of [c] at decision [d]: record the executed step's
+   footprint, push it on the path, and propagate the sleep set — explored
+   siblings join it, and every member whose pending step conflicts with the
+   chosen step wakes up. *)
+let por_after_choice por d ~pending c =
+  let fc = pending c in
+  (match d with
+   | Thread t -> t.fp <- fc
+   | Value _ -> ());
+  let seed = match d with Thread t -> t.explored @ por.sleep | Value _ -> por.sleep in
+  por.sleep <-
+    List.sort_uniq compare
+      (List.filter (fun t -> t <> c && not (Footprint.conflicts (pending t) fc)) seed);
+  por.path <- (c, fc, d) :: por.path
 
 (* ------------------------------------------------------------------ *)
 (* Depth-first systematic exploration with backtracking                *)
@@ -348,8 +550,13 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
 
 (* Builds the decider used for one DFS execution: consume the replay prefix,
    then make fresh decisions (preferring to continue the last-running thread)
-   while recording untried alternatives. *)
-let dfs_decider ~replay ~trace ~last_running =
+   while recording untried alternatives. With [?por] the decider runs the
+   reduction: without a preemption bound, fresh decisions start with lazy
+   backtrack sets instead of all alternatives; under a finite bound they
+   branch eagerly and only the cost-aware sleep sets prune (see {!por}).
+   Either way sleeping candidates are never chosen, and a point whose every
+   candidate sleeps raises {!Sleep_blocked}. *)
+let dfs_decider ?por ~replay ~trace ~last_running () =
   let replay_left = ref replay in
   let pop_replayed () =
     match !replay_left with
@@ -359,22 +566,65 @@ let dfs_decider ~replay ~trace ~last_running =
       Some d
   in
   let record d = trace := d :: !trace in
-  let decide_thread ~free ~costly =
+  let decide_thread ~free ~costly ~pending =
     match pop_replayed () with
     | Some (Thread t as d) ->
       record d;
+      (match por with
+       | Some p ->
+         if not t.frozen then begin
+           let candidates = free @ costly in
+           if not p.bounded then por_analyze p ~candidates ~pending;
+           (* Refresh the path-determined bookkeeping: the candidate sets
+              are deterministic under replay, the entry sleep set is not
+              stored across executions but recomputed along the path. *)
+           t.candidates <- candidates;
+           t.free <- free;
+           t.sleep <- p.sleep;
+           t.sleep_ok <- (not p.bounded) || List.mem t.chosen free
+         end;
+         por_after_choice p d ~pending t.chosen
+       | None -> ());
       t.chosen
     | Some (Value _) -> invalid_arg "Explore: replay mismatch (expected thread decision)"
     | None ->
       let all = free @ costly in
-      let chosen =
-        match !last_running with
-        | Some t when List.mem t all -> t
-        | _ -> List.fold_left min (List.hd all) all
-      in
-      let untried = List.filter (fun c -> c <> chosen) all in
-      record (Thread { chosen; untried });
-      chosen
+      (match por with
+       | None ->
+         let chosen =
+           match !last_running with
+           | Some t when List.mem t all -> t
+           | _ -> List.fold_left min (List.hd all) all
+         in
+         let untried = List.filter (fun c -> c <> chosen) all in
+         record (thread_decision chosen ~untried ~sleep:[] ~candidates:all ~free);
+         chosen
+       | Some p ->
+         if not p.bounded then por_analyze p ~candidates:all ~pending;
+         let sleep = p.sleep in
+         let awake = List.filter (fun c -> not (List.mem c sleep)) all in
+         (match awake with
+          | [] -> raise Sleep_blocked
+          | _ :: _ ->
+            let chosen =
+              match !last_running with
+              | Some t when List.mem t awake -> t
+              | _ -> List.fold_left min (List.hd awake) awake
+            in
+            (* Lazy backtracking is only sound without a preemption bound;
+               under a bound every alternative is eager (like the unreduced
+               explorer) and the cost-aware sleep sets do the pruning. *)
+            let untried =
+              if p.bounded then List.filter (fun c -> c <> chosen && not (List.mem c sleep)) all
+              else []
+            in
+            let d = thread_decision chosen ~untried ~sleep ~candidates:all ~free in
+            record d;
+            (match d with
+             | Thread t -> t.sleep_ok <- (not p.bounded) || List.mem chosen free
+             | Value _ -> ());
+            por_after_choice p d ~pending chosen;
+            chosen))
   in
   let decide_value ~arity =
     match pop_replayed () with
@@ -388,19 +638,42 @@ let dfs_decider ~replay ~trace ~last_running =
       record d;
       0
   in
-  { decide_thread; decide_value }
+  (* Observe each step's end kind as it suspends: under a bound, a chosen
+     step that ends involuntarily loses its sleep eligibility (condition (b)
+     of the cost argument at {!por}). The head of the path is the decision
+     whose step just ran. *)
+  let note_end ~voluntary =
+    match por with
+    | Some p when p.bounded -> (
+      match p.path with
+      | (_, _, Thread t) :: _ -> t.sleep_ok <- t.sleep_ok && voluntary
+      | (_, _, Value _) :: _ | [] -> ())
+    | Some _ | None -> ()
+  in
+  { decide_thread; decide_value; note_end }
 
 (* Find the deepest decision with an untried alternative, mutate it to take
-   that alternative, and return the new replay prefix (in execution order). *)
+   that alternative, and return the new replay prefix (in execution order).
+   Alternatives that entered the sleep set after they were requested are
+   dropped — their subtrees were covered by a sibling in the meantime. *)
 let next_prefix trace_rev =
   let rec go = function
     | [] -> None
     | d :: rest -> (
       match d with
       | Thread t -> (
-        match t.untried with
-        | [] -> go rest
-        | x :: xs ->
+        let rec pick = function
+          | [] -> None
+          | x :: xs when List.mem x t.sleep -> pick xs
+          | x :: xs -> Some (x, xs)
+        in
+        match pick t.untried with
+        | None ->
+          t.untried <- [];
+          go rest
+        | Some (x, xs) ->
+          if t.sleep_ok then t.explored <- t.chosen :: t.explored;
+          t.sleep_ok <- false;
           t.chosen <- x;
           t.untried <- xs;
           Some (List.rev (d :: rest)))
@@ -436,10 +709,23 @@ let trace_execution ~kind ~depth (o : exec_outcome) =
         "depth", Lineup_observe.Trace.Int depth;
       ]
 
+let never_filtered (_ : exec_outcome) = true
+
 (* The general DFS driver: start replaying from [replay0] (its decisions
    must carry empty [untried] lists when they are meant to stay frozen, as
-   {!explore_from}'s thawed prefixes do) and enumerate the subtree below. *)
-let explore_replay cfg ~replay0 ~setup ~on_execution =
+   {!explore_from}'s thawed prefixes do) and enumerate the subtree below.
+
+   [admit] is the hoisted admission filter: an execution it rejects is
+   counted in [exact_bound_skips] and never reaches [on_execution] — the
+   caller's per-execution work (history construction, checking) is skipped
+   entirely, not merely discarded post-hoc.
+
+   POR runs in concurrent mode only: phase 1's serial enumeration is the
+   completeness-critical synthesis of the sequential specification (§4.3),
+   and every serial interleaving is a distinct history by construction, so
+   there is nothing sound to reduce there. *)
+let explore_replay cfg ?(admit = never_filtered) ~replay0 ~setup ~on_execution () =
+  let por_on = cfg.por && cfg.mode = Concurrent in
   let executions = ref 0 in
   let total_steps = ref 0 in
   let deadlocks = ref 0 in
@@ -450,6 +736,9 @@ let explore_replay cfg ~replay0 ~setup ~on_execution =
   let preempt_spent = ref 0 in
   let yields = ref 0 in
   let choice_points = ref 0 in
+  let skips = ref 0 in
+  let sleep_blocked = ref 0 in
+  let backtracks = ref 0 in
   let complete = ref true in
   let replay = ref replay0 in
   let continue_ = ref true in
@@ -459,36 +748,53 @@ let explore_replay cfg ~replay0 ~setup ~on_execution =
        decision order, so we track it via a shared cell updated by a wrapper. *)
     let trace = ref [] in
     let last_running = ref None in
-    let base = dfs_decider ~replay:!replay ~trace ~last_running in
+    let por =
+      if por_on then
+        Some (por_fresh ~bounded:(Option.is_some cfg.preemption_bound) ~backtracks)
+      else None
+    in
+    let base = dfs_decider ?por ~replay:!replay ~trace ~last_running () in
     let decider =
       {
         base with
         decide_thread =
-          (fun ~free ~costly ->
-            let c = base.decide_thread ~free ~costly in
+          (fun ~free ~costly ~pending ->
+            let c = base.decide_thread ~free ~costly ~pending in
             last_running := Some c;
             c);
       }
     in
     let outcome = run_one cfg ~decider ~pruned ~setup in
-    incr executions;
     total_steps := !total_steps + outcome.steps;
-    preempt_spent := !preempt_spent + outcome.preemptions;
-    yields := !yields + outcome.yields;
-    choice_points := !choice_points + outcome.choice_points;
-    (match outcome.exec_end with
-     | Deadlock _ -> incr deadlocks
-     | Diverged -> incr divergences
-     | Serial_stuck _ -> incr serial_stucks
-     | All_finished -> ());
     let depth = List.length !trace in
     if depth > !max_depth then max_depth := depth;
-    trace_execution ~kind:"dfs" ~depth outcome;
-    (match on_execution outcome with
-     | `Stop ->
-       continue_ := false;
-       complete := false
-     | `Continue -> ());
+    if outcome.por_pruned then begin
+      (* Sleep-set blocked: the execution was abandoned as redundant. Its
+         partial trace still drives the backtracking, but it is not an
+         execution of the program — no outcome is reported. *)
+      incr sleep_blocked;
+      trace_execution ~kind:"dfs-sleep-blocked" ~depth outcome
+    end
+    else begin
+      incr executions;
+      preempt_spent := !preempt_spent + outcome.preemptions;
+      yields := !yields + outcome.yields;
+      choice_points := !choice_points + outcome.choice_points;
+      (match outcome.exec_end with
+       | Deadlock _ -> incr deadlocks
+       | Diverged -> incr divergences
+       | Serial_stuck _ -> incr serial_stucks
+       | All_finished -> ());
+      trace_execution ~kind:"dfs" ~depth outcome;
+      if not (admit outcome) then incr skips
+      else begin
+        match on_execution outcome with
+        | `Stop ->
+          continue_ := false;
+          complete := false
+        | `Continue -> ()
+      end
+    end;
     if !continue_ then begin
       match next_prefix !trace with
       | None -> continue_ := false
@@ -512,11 +818,14 @@ let explore_replay cfg ~replay0 ~setup ~on_execution =
     preemptions_spent = !preempt_spent;
     yields = !yields;
     choice_points = !choice_points;
-    exact_bound_skips = 0;
+    exact_bound_skips = !skips;
+    sleep_set_skips = !sleep_blocked;
+    backtrack_points = !backtracks;
     complete = !complete;
   }
 
-let explore cfg ~setup ~on_execution = explore_replay cfg ~replay0:[] ~setup ~on_execution
+let explore cfg ?admit ~setup ~on_execution () =
+  explore_replay cfg ?admit ~replay0:[] ~setup ~on_execution ()
 
 (* ------------------------------------------------------------------ *)
 (* Frontier splitting: depth-k prefix partitions for intra-check         *)
@@ -541,13 +850,26 @@ let freeze_decisions ds =
       | Value v -> Value_choice { chosen = v.chosen; arity = v.arity })
     ds
 
-(* Thawed prefixes carry no untried alternatives: [next_prefix] can never
-   flip a prefix decision, which is what confines {!explore_from} to the
+(* Thawed prefixes carry no untried alternatives and are marked frozen:
+   [next_prefix] can never flip a prefix decision and the reduction never
+   requests siblings there, which is what confines {!explore_from} to the
    partition's subtree. *)
 let thaw_prefix p =
   List.map
     (function
-      | Sched_choice chosen -> Thread { chosen; untried = [] }
+      | Sched_choice chosen ->
+        Thread
+          {
+            chosen;
+            untried = [];
+            explored = [];
+            sleep = [];
+            candidates = [];
+            free = [];
+            fp = Footprint.pure;
+            sleep_ok = false;
+            frozen = true;
+          }
       | Value_choice { chosen; arity } -> Value { chosen; untried = []; arity })
     p
 
@@ -559,8 +881,8 @@ let take_at_most n l =
   in
   go n l
 
-let explore_from cfg ~prefix ~setup ~on_execution =
-  explore_replay cfg ~replay0:(thaw_prefix prefix) ~setup ~on_execution
+let explore_from cfg ?admit ~prefix ~setup ~on_execution () =
+  explore_replay cfg ?admit ~replay0:(thaw_prefix prefix) ~setup ~on_execution ()
 
 let split cfg ~depth ~setup ~on_execution =
   if depth < 1 then invalid_arg "Explore.split: depth must be >= 1";
@@ -569,7 +891,15 @@ let split cfg ~depth ~setup ~on_execution =
      depth-<=[depth] decision prefix, and mutating only those decisions
      enumerates every such prefix once, in canonical DFS order. Decisions
      past the cut are executed (an execution cannot stop mid-flight) but
-     their alternatives are left to the per-partition exploration. *)
+     their alternatives are left to the per-partition exploration.
+
+     The warm-up always runs unreduced (por off): the frontier must
+     partition the full choice tree so that the partition set — and hence
+     the [-j] merge order — is identical with and without the reduction;
+     each partition then explores its own subtree reduced. Cross-partition
+     redundancy that monolithic POR would have pruned is the price of a
+     [-j]-independent frontier. *)
+  let cfg = { cfg with por = false } in
   let executions = ref 0 in
   let total_steps = ref 0 in
   let deadlocks = ref 0 in
@@ -587,13 +917,13 @@ let split cfg ~depth ~setup ~on_execution =
   while !continue_ do
     let trace = ref [] in
     let last_running = ref None in
-    let base = dfs_decider ~replay:!replay ~trace ~last_running in
+    let base = dfs_decider ~replay:!replay ~trace ~last_running () in
     let decider =
       {
         base with
         decide_thread =
-          (fun ~free ~costly ->
-            let c = base.decide_thread ~free ~costly in
+          (fun ~free ~costly ~pending ->
+            let c = base.decide_thread ~free ~costly ~pending in
             last_running := Some c;
             c);
       }
@@ -648,6 +978,8 @@ let split cfg ~depth ~setup ~on_execution =
         yields = !yields;
         choice_points = !choice_points;
         exact_bound_skips = 0;
+        sleep_set_skips = 0;
+        backtrack_points = 0;
         complete = !complete;
       };
   }
@@ -657,29 +989,26 @@ let explore_iterative cfg ~max_bound ~setup ~on_execution =
   let rec go bound acc =
     if bound > max_bound || Option.is_some !stopped_at then List.rev acc
     else begin
-      let skips = ref 0 in
+      (* Exact-bound admission, hoisted into the explorer: a schedule
+         spending c < bound preemptions was already admitted when the sweep
+         ran at bound c. The bound-b tree necessarily re-executes it on the
+         way to the new leaves, but the admission filter rejects it before
+         any per-execution work (history construction, checking) happens —
+         it is counted in [stats.exact_bound_skips] and nothing else. *)
+      let admit (o : exec_outcome) = not (bound > 0 && o.preemptions < bound) in
       let stats =
         explore
           { cfg with preemption_bound = Some bound }
-          ~setup
+          ~admit ~setup
           ~on_execution:(fun outcome ->
-            (* Exact-bound admission: a schedule spending c < bound
-               preemptions was already admitted when the sweep ran at bound
-               c. The bound-b tree necessarily re-executes it on the way to
-               the new leaves, but re-admitting it would hand every history
-               to the caller once per bound level. *)
-            if bound > 0 && outcome.preemptions < bound then begin
-              incr skips;
-              `Continue
-            end
-            else
-              match on_execution outcome with
-              | `Stop ->
-                stopped_at := Some bound;
-                `Stop
-              | `Continue -> `Continue)
+            match on_execution outcome with
+            | `Stop ->
+              stopped_at := Some bound;
+              `Stop
+            | `Continue -> `Continue)
+          ()
       in
-      go (bound + 1) ({ stats with exact_bound_skips = !skips } :: acc)
+      go (bound + 1) (stats :: acc)
     end
   in
   let all = go 0 [] in
@@ -704,10 +1033,11 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     let decider =
       {
         decide_thread =
-          (fun ~free ~costly ->
+          (fun ~free ~costly ~pending:_ ->
             let all = Array.of_list (free @ costly) in
             all.(Random.State.int rng (Array.length all)));
         decide_value = (fun ~arity -> Random.State.int rng arity);
+        note_end = (fun ~voluntary:_ -> ());
       }
     in
     let outcome = run_one cfg ~decider ~pruned ~setup in
@@ -738,5 +1068,7 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     yields = !yields;
     choice_points = !choice_points;
     exact_bound_skips = 0;
+    sleep_set_skips = 0;
+    backtrack_points = 0;
     complete = false;
   }

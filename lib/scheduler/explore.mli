@@ -24,7 +24,32 @@
       with no enabled threads is a deadlock — reported as a stuck execution;
     - a per-execution step budget backstops genuine divergence, which is
       classified as stuck (the paper folds livelock and diverging loops into
-      stuck histories, §2.3). *)
+      stuck histories, §2.3).
+
+    Beyond CHESS, the explorer implements {e dynamic partial-order
+    reduction} (Flanagan & Godefroid, POPL 2005) with sleep sets, off by
+    default ([config.por]). Every executed step carries its access
+    {e footprint} ({!Lineup_runtime.Footprint.t} — the shared location it
+    touches and how); two steps commute unless their footprints conflict.
+    Backtrack sets are computed dynamically from a last-conflicting-access
+    scan of the executed path, and sleep sets prune sibling orders already
+    covered by an explored subtree. Operation call/return events carry an
+    always-conflicting footprint, so event order — the history — is never
+    reordered: the reduction collapses interleavings that produce the same
+    history, never distinct histories. Serial mode is never reduced (each
+    serial interleaving {e is} a distinct history; phase 1's completeness
+    depends on enumerating them all, §4.3).
+
+    The reduction composes soundly with preemption bounding, at reduced
+    strength: commuting independent steps can shift which context switches
+    count as preemptions, so the classic coverage arguments (lazy backtrack
+    sets, unrestricted sleep sets) silently lose bounded schedules. Under a
+    finite [preemption_bound] the explorer therefore branches eagerly and
+    reduces with {e cost-aware} sleep sets only — an explored sibling may
+    cover its reorderings only if it was a free (non-preempting) choice
+    whose step ended at a voluntary suspension, which guarantees the
+    commuted witness never exceeds the budget at any prefix. Without a
+    bound the full lazy reduction applies. *)
 
 type mode =
   | Concurrent
@@ -40,11 +65,14 @@ type config = {
   preemption_bound : int option;  (** [None] = unbounded *)
   max_steps : int;  (** per-execution step budget (divergence backstop) *)
   max_executions : int option;  (** exploration budget; [None] = exhaustive *)
+  por : bool;
+      (** dynamic partial-order reduction (concurrent mode only; ignored —
+          a sound no-op — in serial mode) *)
 }
 
 val default_config : config
 (** Concurrent mode, preemption bound 2 (the CHESS default used by the
-    paper), 50_000 steps, unlimited executions. *)
+    paper), 50_000 steps, unlimited executions, no reduction. *)
 
 val serial_config : config
 (** Serial mode, no preemption bound (phase 1 runs unbounded, §4.3). *)
@@ -66,6 +94,9 @@ type exec_outcome = {
   errors : (int * exn) list;
       (** exceptions escaping thread bodies (implementation bugs of a
           different kind; exploration continues) *)
+  por_pruned : bool;
+      (** the execution was abandoned by the reduction (every schedulable
+          choice was in the sleep set); never delivered to [on_execution] *)
 }
 
 type stats = {
@@ -80,10 +111,15 @@ type stats = {
   yields : int;  (** fairness yields observed, summed over executions *)
   choice_points : int;  (** branching scheduling decisions, summed *)
   exact_bound_skips : int;
-      (** executions run but not admitted by {!explore_iterative}'s
-          exact-bound filter (they spent fewer preemptions than the current
-          bound and were already admitted at that lower bound); always [0]
-          outside the iterative sweep *)
+      (** executions run but rejected by the admission filter ([?admit],
+          used by {!explore_iterative}'s exact-bound filter): they never
+          reach [on_execution], so no per-execution work happens for them;
+          always [0] without a filter *)
+  sleep_set_skips : int;
+      (** executions abandoned by the reduction as redundant
+          ([por_pruned]); not counted in [executions] *)
+  backtrack_points : int;
+      (** backtracking alternatives added by the dynamic conflict analysis *)
   complete : bool;
       (** the schedule space was exhausted (no budget cut, no early stop) *)
 }
@@ -101,15 +137,22 @@ val merge_stats : stats -> stats -> stats
     unit, so a fold over per-worker statistics is order-independent — the
     parallel checker relies on this to report deterministic aggregates. *)
 
-(** [explore cfg ~setup ~on_execution] enumerates schedules depth-first.
+(** [explore cfg ~setup ~on_execution ()] enumerates schedules depth-first.
     [setup] is run before each execution (with effects serviced inline, see
     {!Lineup_runtime.Rt.run_inline}) and returns the thread bodies.
     [on_execution] is called after each execution; returning [`Stop] ends the
-    exploration early. *)
+    exploration early.
+
+    [admit] filters executions {e before} any per-execution work: a rejected
+    execution is counted in [stats.exact_bound_skips] and [on_execution] is
+    not called (so the caller never builds its history). Defaults to
+    admitting everything. *)
 val explore :
   config ->
+  ?admit:(exec_outcome -> bool) ->
   setup:(unit -> (unit -> unit) array) ->
   on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  unit ->
   stats
 
 (** {1 Frontier splitting}
@@ -125,7 +168,14 @@ val explore :
     schedule set {!explore} enumerates: same execution count, same
     histories, in the same canonical order when partition results are
     concatenated in frontier order (P-compositionality in the sense of
-    Horn & Kroening, applied to the schedule space). *)
+    Horn & Kroening, applied to the schedule space).
+
+    Composition with the reduction: the warm-up always runs {e unreduced},
+    so the frontier — and with it the partition set and the [-j] merge
+    order — is identical with and without [config.por]; each partition then
+    explores its own subtree reduced, with the frozen prefix exempt from
+    backtracking. Redundancy {e across} partitions that a monolithic
+    reduced search would have pruned is retained by construction. *)
 
 (** One recorded scheduling decision, frozen for transport across domains:
     the thread chosen at a scheduling point, or the value chosen at a
@@ -156,7 +206,8 @@ type frontier = {
     frontier prefix; [on_execution] is called on each — return [`Stop] to
     abandon the warm-up (e.g. on cancellation). Executions whose full
     decision trace is shorter than [depth] form singleton partitions.
-    [cfg.max_executions] caps the number of partitions. *)
+    [cfg.max_executions] caps the number of partitions. [cfg.por] is
+    ignored: the warm-up runs unreduced (see above). *)
 val split :
   config ->
   depth:int ->
@@ -164,18 +215,22 @@ val split :
   on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
   frontier
 
-(** [explore_from cfg ~prefix ~setup ~on_execution] explores exactly the
+(** [explore_from cfg ~prefix ~setup ~on_execution ()] explores exactly the
     partition identified by [prefix]: the first [List.length prefix]
-    decisions are replayed frozen (never backtracked), everything below is
-    enumerated depth-first as {!explore} would. [stats.complete] refers to
-    the partition's subtree. Raises [Invalid_argument] if the prefix does
-    not replay against the program (wrong arity or unschedulable thread —
-    a prefix is only meaningful for the [setup] that produced it). *)
+    decisions are replayed frozen (never backtracked, never offered
+    backtracking alternatives by the reduction), everything below is
+    enumerated depth-first as {!explore} would — reduced when [cfg.por].
+    [stats.complete] refers to the partition's subtree. [admit] as in
+    {!explore}. Raises [Invalid_argument] if the prefix does not replay
+    against the program (wrong arity or unschedulable thread — a prefix is
+    only meaningful for the [setup] that produced it). *)
 val explore_from :
   config ->
+  ?admit:(exec_outcome -> bool) ->
   prefix:prefix ->
   setup:(unit -> (unit -> unit) array) ->
   on_execution:(exec_outcome -> [ `Continue | `Stop ]) ->
+  unit ->
   stats
 
 (** [explore_iterative cfg ~max_bound ~setup ~on_execution] — iterative
@@ -189,10 +244,12 @@ val explore_from :
 
     The tree at bound b is a superset of the tree at bound b-1, so the
     sweep necessarily {e re-executes} lower-bound schedules at each level;
-    it does {e not} re-admit them: at bound b > 0, [on_execution] is called
-    only for executions that spend exactly b preemptions (each schedule is
-    admitted exactly once across the sweep, at the bound equal to its
-    preemption count). Executions filtered out are counted in the per-bound
+    it does {e not} re-admit them: at bound b > 0, only executions that
+    spend exactly b preemptions are admitted (each schedule is admitted
+    exactly once across the sweep, at the bound equal to its preemption
+    count). The filter runs as the [?admit] hook of {!explore}, so a
+    filtered execution costs its re-execution and nothing more — no
+    history is built, no checker runs; it is counted in the per-bound
     [stats.exact_bound_skips]. *)
 val explore_iterative :
   config ->

@@ -11,6 +11,9 @@
 
 open Helpers
 module Explore = Lineup_scheduler.Explore
+
+let explore_all config ~setup ~on_execution = Explore.explore config ~setup ~on_execution ()
+
 module Var = Lineup_runtime.Shared_var
 module Metrics = Lineup_observe.Metrics
 module Conc = Lineup_conc
@@ -41,7 +44,7 @@ let fingerprint (o : Explore.exec_outcome) =
 let sequential_fingerprints config setup =
   let fps = ref [] in
   let stats =
-    Explore.explore config ~setup ~on_execution:(fun o ->
+    explore_all config ~setup ~on_execution:(fun o ->
         fps := fingerprint o :: !fps;
         `Continue)
   in
@@ -56,9 +59,11 @@ let frontier_fingerprints config ~depth setup =
       (fun prefix ->
         let fps = ref [] in
         let _ =
-          Explore.explore_from config ~prefix ~setup ~on_execution:(fun o ->
+          Explore.explore_from config ~prefix ~setup
+            ~on_execution:(fun o ->
               fps := fingerprint o :: !fps;
               `Continue)
+            ()
         in
         List.rev !fps)
       frontier.Explore.prefixes

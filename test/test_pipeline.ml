@@ -44,6 +44,7 @@ let rr log =
         yields = 0;
         choice_points = 0;
         errors = [];
+        por_pruned = false;
       };
     log;
   }

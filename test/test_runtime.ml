@@ -6,6 +6,9 @@ module Condvar = Lineup_runtime.Condvar
 module Exec_ctx = Lineup_runtime.Exec_ctx
 module Explore = Lineup_scheduler.Explore
 
+let explore_all config ~setup ~on_execution = Explore.explore config ~setup ~on_execution ()
+
+
 (* Run a single-threaded program under the inline handler. *)
 let inline = Rt.run_inline
 
@@ -110,7 +113,7 @@ let suite =
         (* run under the explorer: T0 pulses then T1 waits forever *)
         let deadlocks = ref 0 in
         let stats =
-          Explore.explore
+          explore_all
             { Explore.default_config with max_executions = Some 100 }
             ~setup:(fun () ->
               let m = Mutex_.create () in
@@ -136,7 +139,7 @@ let suite =
            making the pulser block on the waiter's registration) *)
         let deadlocks = ref 0 in
         let _ =
-          Explore.explore
+          explore_all
             { Explore.default_config with max_executions = Some 200 }
             ~setup:(fun () ->
               let m = Mutex_.create () in
@@ -164,7 +167,7 @@ let suite =
            one waiter completes, one deadlocks *)
         let saw_partial = ref false in
         let _ =
-          Explore.explore
+          explore_all
             { Explore.default_config with max_executions = Some 200 }
             ~setup:(fun () ->
               let m = Mutex_.create () in

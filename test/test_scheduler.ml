@@ -4,12 +4,15 @@ module Var = Lineup_runtime.Shared_var
 module Mutex_ = Lineup_runtime.Mutex_
 module Explore = Lineup_scheduler.Explore
 
+let explore_all config ~setup ~on_execution = Explore.explore config ~setup ~on_execution ()
+
+
 let unbounded = { Explore.default_config with preemption_bound = None }
 
 let count_executions ?(config = unbounded) setup =
   let n = ref 0 in
   let stats =
-    Explore.explore config ~setup ~on_execution:(fun _ ->
+    explore_all config ~setup ~on_execution:(fun _ ->
         incr n;
         `Continue)
   in
@@ -79,7 +82,7 @@ let suite =
         let run () =
           let ends = ref [] in
           let _ =
-            Explore.explore unbounded
+            explore_all unbounded
               ~setup:(fun () ->
                 let v = Var.make 0 in
                 [|
@@ -96,7 +99,7 @@ let suite =
     test "deadlock detection: classic lock-order inversion" (fun () ->
         let deadlocks = ref 0 in
         let _ =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(fun () ->
               let m1 = Mutex_.create ~name:"m1" () in
               let m2 = Mutex_.create ~name:"m2" () in
@@ -122,7 +125,7 @@ let suite =
     test "no false deadlocks with consistent lock order" (fun () ->
         let deadlocks = ref 0 in
         let _ =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(fun () ->
               let m1 = Mutex_.create () in
               let m2 = Mutex_.create () in
@@ -143,7 +146,7 @@ let suite =
     test "choose explores both branches" (fun () ->
         let seen = Hashtbl.create 4 in
         let _ =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(fun () ->
               let v = Var.make (-1) in
               [| (fun () -> Var.write v (Rt.choose 2)) |])
@@ -183,7 +186,7 @@ let suite =
     test "serial mode stops at a blocked thread" (fun () ->
         let stucks = ref 0 in
         let _ =
-          Explore.explore Explore.serial_config
+          explore_all Explore.serial_config
             ~setup:(fun () ->
               let flag = Var.make false in
               [|
@@ -204,7 +207,7 @@ let suite =
     test "fairness: spin loop against a finite writer terminates" (fun () ->
         let diverged = ref 0 in
         let stats =
-          Explore.explore
+          explore_all
             { unbounded with max_steps = 5_000 }
             ~setup:(fun () ->
               let flag = Var.make ~volatile:true false in
@@ -228,7 +231,7 @@ let suite =
     test "divergence backstop trips on a genuine livelock" (fun () ->
         let diverged = ref 0 in
         let _ =
-          Explore.explore
+          explore_all
             { unbounded with max_steps = 200 }
             ~setup:(fun () ->
               let flag = Var.make false in
@@ -256,7 +259,7 @@ let suite =
     test "on_execution `Stop ends exploration" (fun () ->
         let n = ref 0 in
         let stats =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(accesses_program ~threads:2 ~accesses:2)
             ~on_execution:(fun _ ->
               incr n;
@@ -267,7 +270,7 @@ let suite =
     test "thread exceptions are reported, not thrown" (fun () ->
         let errors = ref 0 in
         let _ =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(fun () -> [| (fun () -> failwith "kaboom") |])
             ~on_execution:(fun o ->
               if o.Explore.errors <> [] then incr errors;
@@ -279,7 +282,7 @@ let suite =
         let lost = ref false in
         let result = Var.make 0 in
         let _ =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(fun () ->
               Var.poke result 0;
               let v = Var.make 0 in
@@ -297,7 +300,7 @@ let suite =
     test "blocked threads wake when the predicate turns true" (fun () ->
         let deadlocks = ref 0 in
         let _ =
-          Explore.explore unbounded
+          explore_all unbounded
             ~setup:(fun () ->
               let flag = Var.make false in
               [|
