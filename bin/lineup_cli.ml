@@ -98,8 +98,9 @@ let parse_column s =
   String.split_on_char ',' s |> List.filter (fun x -> String.trim x <> "")
   |> List.map parse_invocation
 
-let config_of ?(por = false) ~pb ~cap ~classic () =
-  Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic ~por ()
+let config_of ?(por = false) ?(membership = Check.Auto) ~pb ~cap ~classic () =
+  Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic
+    ~membership ~por ()
 
 (* --cancel-after N: a deterministic cancellation token that fires after N
    polls — a testing aid exercising the Cancelled verdict and exit code. *)
@@ -112,14 +113,14 @@ let cancel_after = function
         incr polls;
         !polls > n)
 
-let check_cmd_run name columns pb cap classic por jobs frontier_depth cancel_polls verbose
-    cache_dir metrics_file trace_file =
+let check_cmd_run name columns pb cap classic por membership jobs frontier_depth cancel_polls
+    verbose cache_dir metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
     let config =
-      let c = config_of ~por ~pb ~cap ~classic () in
+      let c = config_of ~por ~membership ~pb ~cap ~classic () in
       { c with Check.phase2_domains = jobs; phase2_frontier_depth = frontier_depth }
     in
     let cancelled = cancel_after cancel_polls in
@@ -135,12 +136,12 @@ let check_cmd_run name columns pb cap classic por jobs frontier_depth cancel_pol
     else if Check.cancelled r then `Ok exit_cancelled
     else `Ok exit_violation
 
-let random_cmd_run name rows cols samples seed pb cap por stop_at_first domains metrics_file
-    trace_file =
+let random_cmd_run name rows cols samples seed pb cap por membership stop_at_first domains
+    metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
-    let config = config_of ~por ~pb ~cap ~classic:false () in
+    let config = config_of ~por ~membership ~pb ~cap ~classic:false () in
     let report =
       with_observability ~metrics_file ~trace_file (fun metrics ->
           Random_check.run_parallel ~config ~stop_at_first ?metrics ~domains ~seed
@@ -156,14 +157,14 @@ let random_cmd_run name rows cols samples seed pb cap por stop_at_first domains 
      | None -> ());
     if report.Random_check.failed = 0 then `Ok 0 else `Ok exit_violation
 
-let auto_cmd_run name max_tests pb cap por domains metrics_file trace_file =
+let auto_cmd_run name max_tests pb cap por membership domains metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     match
       with_observability ~metrics_file ~trace_file (fun metrics ->
           Auto_check.run
-            ~config:(config_of ~por ~pb ~cap ~classic:false ())
+            ~config:(config_of ~por ~membership ~pb ~cap ~classic:false ())
             ~domains ?metrics ~max_tests adapter)
     with
     | Auto_check.Failed { test; result; tests_run; stats } ->
@@ -188,13 +189,19 @@ let observe_cmd_run name columns output =
      | None -> Fmt.pr "%s@." xml);
     `Ok 0
 
-let minimize_cmd_run name columns pb =
+let minimize_cmd_run name columns pb membership cancel_polls =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     let test = Test_matrix.make (List.map parse_column columns) in
-    let config = config_of ~pb ~cap:None ~classic:false () in
-    match Minimize.reduce ~config adapter test with
+    let config = config_of ~membership ~pb ~cap:None ~classic:false () in
+    let cancelled = cancel_after cancel_polls in
+    match Minimize.reduce ~config ?cancelled adapter test with
+    | r when Check.cancelled r.Minimize.check ->
+      (* The initial check never finished: no verdict, nothing minimized. *)
+      Fmt.pr "cancelled before a verdict (%d checks spent):@.%s@." r.Minimize.checks_spent
+        (Report.summary r.Minimize.check);
+      `Ok exit_cancelled
     | r ->
       Fmt.pr "minimal failing test (%d checks spent):@.%a@.%s@." r.Minimize.checks_spent
         Test_matrix.pp r.Minimize.test
@@ -202,7 +209,7 @@ let minimize_cmd_run name columns pb =
       `Ok 0
     | exception Invalid_argument msg -> `Error (false, msg))
 
-let compare_cmd_run name columns por jobs frontier_depth tso metrics_file trace_file =
+let compare_cmd_run name columns por membership jobs frontier_depth tso metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
@@ -221,6 +228,7 @@ let compare_cmd_run name columns por jobs frontier_depth tso metrics_file trace_
       {
         Check.default_config with
         Check.phase2 = { Check.default_config.Check.phase2 with Explore.por };
+        membership;
         phase2_domains = jobs;
         phase2_frontier_depth = frontier_depth;
       }
@@ -329,6 +337,29 @@ let por_arg =
            reordered, so no history is lost). Phase 1 (serial mode) is never reduced: its \
            interleavings $(i,are) the specification. Off by default.")
 
+let membership_conv =
+  let parse s =
+    match Check.membership_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "expected auto, generic or monitor, got %S" s))
+  in
+  Arg.conv ~docv:"MODE" (parse, fun ppf m -> Fmt.string ppf (Check.membership_name m))
+
+let membership_arg =
+  Arg.(
+    value
+    & opt membership_conv Check.default_config.Check.membership
+    & info [ "membership" ] ~docv:"MODE"
+        ~doc:
+          "Phase-2 membership mode: $(b,auto) (default — use the spec-specialized class \
+           monitors and the P-compositional per-key splitter when the adapter declares a \
+           specification, falling back to the generic observation witness search whenever \
+           they do not apply), $(b,generic) (always the generic search), or $(b,monitor) \
+           (force the spec path, including the direct Wing-Gong search, with generic only as \
+           a last resort). Every mode consumes the same enumerated histories: the verdict, \
+           the distinct-history count and $(b,check.phase2.histories_fingerprint) are \
+           identical — only wall-clock time changes.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report output.")
 
 let domain_count =
@@ -423,8 +454,8 @@ let check_cmd =
     Term.(
       ret
         (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg $ por_arg
-         $ check_jobs_arg $ frontier_depth_arg $ cancel_after_arg $ verbose_arg $ cache_dir_arg
-         $ metrics_arg $ trace_arg))
+         $ membership_arg $ check_jobs_arg $ frontier_depth_arg $ cancel_after_arg $ verbose_arg
+         $ cache_dir_arg $ metrics_arg $ trace_arg))
 
 let random_cmd =
   let rows = Arg.(value & opt int 3 & info [ "rows" ] ~doc:"Operations per thread.") in
@@ -438,7 +469,7 @@ let random_cmd =
     Term.(
       ret
         (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg
-         $ por_arg $ stop $ jobs_arg $ metrics_arg $ trace_arg))
+         $ por_arg $ membership_arg $ stop $ jobs_arg $ metrics_arg $ trace_arg))
 
 let auto_cmd =
   let max_tests =
@@ -449,8 +480,8 @@ let auto_cmd =
        ~doc:"AutoCheck: systematic test enumeration (Fig. 6)")
     Term.(
       ret
-        (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ por_arg $ jobs_arg
-         $ metrics_arg $ trace_arg))
+        (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ por_arg $ membership_arg
+         $ jobs_arg $ metrics_arg $ trace_arg))
 
 let observe_cmd =
   let output =
@@ -462,8 +493,11 @@ let observe_cmd =
 
 let minimize_cmd =
   Cmd.v
-    (Cmd.info "minimize" ~doc:"Shrink a failing test matrix to a local minimum")
-    Term.(ret (const minimize_cmd_run $ name_arg $ columns_arg $ pb_arg))
+    (Cmd.info "minimize" ~exits:gate_exits
+       ~doc:"Shrink a failing test matrix to a local minimum")
+    Term.(
+      ret (const minimize_cmd_run $ name_arg $ columns_arg $ pb_arg $ membership_arg
+           $ cancel_after_arg))
 
 let compare_cmd =
   let tso_arg =
@@ -488,8 +522,8 @@ let compare_cmd =
           informational — the paper's false alarms on lock-free code), 2 when cancelled.")
     Term.(
       ret
-        (const compare_cmd_run $ name_arg $ columns_arg $ por_arg $ check_jobs_arg
-         $ frontier_depth_arg
+        (const compare_cmd_run $ name_arg $ columns_arg $ por_arg $ membership_arg
+         $ check_jobs_arg $ frontier_depth_arg
          $ tso_arg $ metrics_arg $ trace_arg))
 
 let repro_cmd =

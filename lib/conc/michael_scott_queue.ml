@@ -91,4 +91,5 @@ let adapter =
     in
     { Lineup.Adapter.invoke }
   in
-  Lineup.Adapter.make ~name:"MichaelScottQueue" ~universe create
+  Lineup.Adapter.make ~name:"MichaelScottQueue" ~universe
+    ~spec:(Lineup_spec.Spec.Packed Lineup_spec.Specs.queue) create

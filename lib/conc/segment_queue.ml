@@ -124,4 +124,5 @@ let adapter =
     in
     { Lineup.Adapter.invoke }
   in
-  Lineup.Adapter.make ~name:"SegmentQueue" ~universe create
+  Lineup.Adapter.make ~name:"SegmentQueue" ~universe
+    ~spec:(Lineup_spec.Spec.Packed Lineup_spec.Specs.queue) create

@@ -21,11 +21,23 @@ type t = {
   universe : Lineup_history.Invocation.t list;
       (** the enumeration [I_o = {i1, i2, ...}] of representative
           invocations; order matters for [Auto_check]'s [I_n] prefixes *)
+  spec : Lineup_spec.Spec.packed option;
+      (** optional declared sequential specification, serially equivalent to
+          the implementation. Purely an acceleration hint: when present, the
+          spec-specialized membership layer ([--membership auto]) may decide
+          phase-2 history membership by class monitor or P-compositional
+          splitting instead of the generic witness search. Verdicts must not
+          depend on it — the CI equivalence lane and the cross-validation
+          tests enforce that. [None] always means the generic search. *)
   create : unit -> instance;
 }
 
 val make :
-  name:string -> universe:Lineup_history.Invocation.t list -> (unit -> instance) -> t
+  name:string ->
+  universe:Lineup_history.Invocation.t list ->
+  ?spec:Lineup_spec.Spec.packed ->
+  (unit -> instance) ->
+  t
 
 (** [invocation adapter name] finds the first universe invocation with the
     given operation name. Raises [Not_found] if absent. *)

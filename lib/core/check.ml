@@ -5,11 +5,28 @@ module Explore = Lineup_scheduler.Explore
 module Metrics = Lineup_observe.Metrics
 module Trace = Lineup_observe.Trace
 
+type membership =
+  | Auto
+  | Generic
+  | Monitor
+
+let membership_name = function
+  | Auto -> "auto"
+  | Generic -> "generic"
+  | Monitor -> "monitor"
+
+let membership_of_string = function
+  | "auto" -> Some Auto
+  | "generic" -> Some Generic
+  | "monitor" -> Some Monitor
+  | _ -> None
+
 type config = {
   phase1 : Explore.config;
   phase2 : Explore.config;
   classic_only : bool;
   dedup_histories : bool;
+  membership : membership;
   phase2_domains : int option;
   phase2_frontier_depth : int;
 }
@@ -20,11 +37,13 @@ let default_config =
     phase2 = Explore.default_config;
     classic_only = false;
     dedup_histories = true;
+    membership = Auto;
     phase2_domains = None;
     phase2_frontier_depth = 4;
   }
 
-let config_with ?preemption_bound ?max_executions ?(classic_only = false) ?phase2_domains
+let config_with ?preemption_bound ?max_executions ?(classic_only = false)
+    ?(membership = default_config.membership) ?phase2_domains
     ?(frontier_depth = default_config.phase2_frontier_depth) ?(por = false) () =
   let phase2 = default_config.phase2 in
   let phase2 =
@@ -44,6 +63,7 @@ let config_with ?preemption_bound ?max_executions ?(classic_only = false) ?phase
     default_config with
     phase2;
     classic_only;
+    membership;
     phase2_domains;
     phase2_frontier_depth = frontier_depth;
   }
@@ -191,6 +211,13 @@ type p2_state = {
   witness_probes : int ref;
   mutable stuck_checks : int;
   stuck_probes : int ref;
+  (* Spec-specialized membership decisions, by method; [m_fallbacks] counts
+     histories a declared spec could not decide (the generic search then
+     ran, adding to [witness_searches]/[stuck_checks] as usual). *)
+  mutable m_monitor : int;
+  mutable m_pcomp : int;
+  mutable m_direct : int;
+  mutable m_fallbacks : int;
   (* Order-independent fingerprint of the distinct-history set: a masked
      sum of structural hashes, merged by addition, so it is identical
      across [-j] modes and — when the reduction is sound — across
@@ -213,6 +240,10 @@ let p2_init () =
     witness_probes = ref 0;
     stuck_checks = 0;
     stuck_probes = ref 0;
+    m_monitor = 0;
+    m_pcomp = 0;
+    m_direct = 0;
+    m_fallbacks = 0;
     fp_acc = 0;
     seen = Hashtbl.create 256;
   }
@@ -222,7 +253,15 @@ let fp_mask = 0x3FFF_FFFF_FFFF (* 46 bits: summable without overflow on 63-bit i
 let history_fingerprint h =
   Hashtbl.hash_param 256 256 (History.events h, History.is_stuck h) land fp_mask
 
-let p2_step config ~observation st (r : Harness.run_result) =
+(* Membership of one distinct history. The spec-specialized path
+   ([Spec_check]) only consumes the history — the fingerprint is recorded
+   before the decision and the enumeration upstream never sees it — so
+   `--membership` modes differ in how a verdict is computed, never in what
+   is checked. [Auto] consults the adapter's declared spec for the
+   near-linear class checks and falls back to the generic observation
+   search; [Monitor] additionally forces the direct Wing–Gong search (and
+   the Definition-2 stuck check) before falling back. *)
+let p2_step config ~observation ~spec ~init st (r : Harness.run_result) =
   match exception_of r.outcome with
   | Some v ->
     st.found <- Some v;
@@ -236,23 +275,60 @@ let p2_step config ~observation st (r : Harness.run_result) =
     Hashtbl.replace st.seen (History.events r.history, History.is_stuck r.history) ();
     st.histories <- st.histories + 1;
     st.fp_acc <- (st.fp_acc + history_fingerprint r.history) land fp_mask;
-    if History.is_stuck r.history then
-      if config.classic_only then `Continue
-      else begin
-        st.stuck_checks <- st.stuck_checks + 1;
-        match Observation.linearizable_stuck ~probes:st.stuck_probes observation r.history with
-        | Ok () -> `Continue
-        | Error op ->
-          st.found <- Some (Stuck_unjustified (r.history, op));
-          `Done
-      end
-    else begin
+    let h = r.history in
+    let generic_stuck () =
+      st.stuck_checks <- st.stuck_checks + 1;
+      match Observation.linearizable_stuck ~probes:st.stuck_probes observation h with
+      | Ok () -> `Continue
+      | Error op ->
+        st.found <- Some (Stuck_unjustified (h, op));
+        `Done
+    in
+    let generic_full () =
       st.witness_searches <- st.witness_searches + 1;
-      match Observation.find_witness_full ~probes:st.witness_probes observation r.history with
+      match Observation.find_witness_full ~probes:st.witness_probes observation h with
       | Some _ -> `Continue
       | None ->
-        st.found <- Some (No_witness r.history);
+        st.found <- Some (No_witness h);
         `Done
+    in
+    let spec_decide ~force_spec =
+      match spec with
+      | None -> None
+      | Some packed -> (
+        let decision, meth = Lineup_spec.Spec_check.decide ~force_spec packed ~init h in
+        (match meth with
+         | Some Lineup_spec.Spec_check.Monitor_check -> st.m_monitor <- st.m_monitor + 1
+         | Some Lineup_spec.Spec_check.Pcomp_check -> st.m_pcomp <- st.m_pcomp + 1
+         | Some Lineup_spec.Spec_check.Direct_check -> st.m_direct <- st.m_direct + 1
+         | None -> ());
+        match decision with
+        | Lineup_spec.Spec_check.Accept -> Some `Continue
+        | Lineup_spec.Spec_check.Reject ->
+          st.found <- Some (No_witness h);
+          Some `Done
+        | Lineup_spec.Spec_check.Reject_stuck op ->
+          st.found <- Some (Stuck_unjustified (h, op));
+          Some `Done
+        | Lineup_spec.Spec_check.Unsupported _ ->
+          st.m_fallbacks <- st.m_fallbacks + 1;
+          None)
+    in
+    if History.is_stuck h then
+      if config.classic_only then `Continue
+      else begin
+        match config.membership with
+        | Auto | Generic -> generic_stuck ()
+        | Monitor -> (
+          match spec_decide ~force_spec:true with Some r -> r | None -> generic_stuck ())
+      end
+    else begin
+      match config.membership with
+      | Generic -> generic_full ()
+      | Auto -> (
+        match spec_decide ~force_spec:false with Some r -> r | None -> generic_full ())
+      | Monitor -> (
+        match spec_decide ~force_spec:true with Some r -> r | None -> generic_full ())
     end
 
 let p2_merge a b =
@@ -264,6 +340,10 @@ let p2_merge a b =
     witness_probes = ref (!(a.witness_probes) + !(b.witness_probes));
     stuck_checks = a.stuck_checks + b.stuck_checks;
     stuck_probes = ref (!(a.stuck_probes) + !(b.stuck_probes));
+    m_monitor = a.m_monitor + b.m_monitor;
+    m_pcomp = a.m_pcomp + b.m_pcomp;
+    m_direct = a.m_direct + b.m_direct;
+    m_fallbacks = a.m_fallbacks + b.m_fallbacks;
     fp_acc = (a.fp_acc + b.fp_acc) land fp_mask;
     seen = Hashtbl.create 1;
   }
@@ -276,11 +356,15 @@ let p2_counters st =
     "witness_probes", !(st.witness_probes);
     "stuck_checks", st.stuck_checks;
     "stuck_probes", !(st.stuck_probes);
+    "membership_monitor", st.m_monitor;
+    "membership_pcomp", st.m_pcomp;
+    "membership_direct", st.m_direct;
+    "membership_fallbacks", st.m_fallbacks;
     "histories_fingerprint", st.fp_acc;
     "violation", (if st.found = None then 0 else 1);
   ]
 
-let lineup_analyzer config ~observation =
+let lineup_analyzer config ~observation ~spec ~init:init_seq =
   let sid = Stdlib.Type.Id.make () in
   let module A = struct
     type state = p2_state
@@ -289,7 +373,7 @@ let lineup_analyzer config ~observation =
     let name = "lineup"
     let needs_log = false
     let init = p2_init
-    let step st r = p2_step config ~observation st r
+    let step st r = p2_step config ~observation ~spec ~init:init_seq st r
     let merge = p2_merge
     let metrics = p2_counters
 
@@ -355,7 +439,10 @@ let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?obse
     (* Phase 2: enumerate concurrent executions once, drive the Line-Up
        analyzer — plus any attached extra analyzers — over each. *)
     let p2_start = now () in
-    let lineup, lineup_id = lineup_analyzer config ~observation in
+    let lineup, lineup_id =
+      lineup_analyzer config ~observation ~spec:adapter.Adapter.spec
+        ~init:test.Test_matrix.init
+    in
     let rep =
       run_pipeline config ~cancelled ~metrics ~analyzers:(lineup :: analyzers) ~adapter ~test
     in

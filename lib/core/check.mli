@@ -15,6 +15,28 @@
     Phase 1 runs without preemption bounding, preserving the completeness
     guarantee even when phase 2 is bounded (Section 4.3). *)
 
+(** How phase 2 decides membership of each distinct history. Every mode
+    consumes the same enumerated histories (counts and fingerprints are
+    identical by construction — the decision happens after the history is
+    recorded); only the decision procedure differs, and the CI
+    [membership-equivalence] lane asserts the verdicts agree too. *)
+type membership =
+  | Auto
+      (** default: when the adapter declares a specification
+          ({!Adapter.t.spec}), decide complete histories with the
+          near-linear class monitors ([Lineup_spec.Monitor]) or the
+          P-compositional per-key splitter ([Lineup_spec.Pcomp]); anything
+          they refuse — and all stuck histories — uses the generic search *)
+  | Generic  (** always the generic observation witness search (pre-PR-6 behavior) *)
+  | Monitor
+      (** force the spec path: monitors/splitter first, then the direct
+          Wing–Gong search ([Lineup_spec.Lin_check]) including the
+          Definition-2 stuck check; generic only as a last resort (no
+          declared spec, oversized history) *)
+
+val membership_name : membership -> string
+val membership_of_string : string -> membership option
+
 type config = {
   phase1 : Lineup_scheduler.Explore.config;
   phase2 : Lineup_scheduler.Explore.config;
@@ -26,6 +48,7 @@ type config = {
       (** skip the witness search for histories already seen in phase 2
           (sound: the verdict is a function of the history); on by default,
           benchmarked by the dedup ablation *)
+  membership : membership;  (** the phase-2 membership mode, {!Auto} by default *)
   phase2_domains : int option;
       (** [Some d]: fan phase 2 out over [d] domains by frontier splitting —
           a sequential warm-up enumerates the decision prefixes of length
@@ -54,6 +77,7 @@ val config_with :
   ?preemption_bound:int option ->
   ?max_executions:int option ->
   ?classic_only:bool ->
+  ?membership:membership ->
   ?phase2_domains:int ->
   ?frontier_depth:int ->
   ?por:bool ->

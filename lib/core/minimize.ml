@@ -42,23 +42,32 @@ let one_smaller (m : Test_matrix.t) =
   in
   column_deletions @ init_deletions @ final_deletions
 
-let reduce ?config adapter test =
+let reduce ?config ?cancelled adapter test =
   let checks_spent = ref 0 in
   let check m =
     incr checks_spent;
-    Check.run ?config adapter m
+    Check.run ?config ?cancelled adapter m
   in
   let initial = check test in
   if Check.passed initial then
     invalid_arg "Minimize.reduce: the given test passes";
-  let rec go current current_result =
-    let candidates = one_smaller current in
-    let rec try_candidates = function
-      | [] -> { test = current; check = current_result; checks_spent = !checks_spent }
-      | m :: rest ->
-        let r = check m in
-        if Check.passed r then try_candidates rest else go m r
+  if Check.cancelled initial then
+    (* No verdict on the starting test — nothing to minimize. *)
+    { test; check = initial; checks_spent = !checks_spent }
+  else
+    let rec go current current_result =
+      let candidates = one_smaller current in
+      let rec try_candidates = function
+        | [] -> { test = current; check = current_result; checks_spent = !checks_spent }
+        | m :: rest ->
+          let r = check m in
+          (* Shrink only onto candidates that exhibit the violation. A
+             [Cancelled] verdict is no verdict: recursing onto it would
+             "minimize" toward a test never seen to fail (and, with the
+             cancellation token stuck on, walk all the way down). A passing
+             candidate is skipped for the same reason as before. *)
+          if Check.failed r then go m r else try_candidates rest
+      in
+      try_candidates candidates
     in
-    try_candidates candidates
-  in
-  go test initial
+    go test initial

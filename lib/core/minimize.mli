@@ -16,10 +16,22 @@
 
 type result = {
   test : Test_matrix.t;  (** the reduced failing test *)
-  check : Check.result;  (** its (failing) check result *)
+  check : Check.result;  (** its check result — [Fail] unless cancelled *)
   checks_spent : int;  (** number of [Check] invocations used *)
 }
 
-(** [reduce ?config adapter test] requires [test] to fail under [config]
-    (raises [Invalid_argument] otherwise). *)
-val reduce : ?config:Check.config -> Adapter.t -> Test_matrix.t -> result
+(** [reduce ?config ?cancelled adapter test] requires [test] to fail under
+    [config] (raises [Invalid_argument] if it passes). The descent only
+    shrinks onto candidates whose check {e fails}: a candidate whose check
+    was cancelled never exhibited the violation and is skipped, so the
+    returned test is always one that was seen to fail. If the initial check
+    itself is cancelled, the input is returned unreduced with the
+    [Cancelled] result — callers must treat it as "no verdict", not as a
+    minimized counterexample. [cancelled] is threaded into every inner
+    {!Check.run}. *)
+val reduce :
+  ?config:Check.config ->
+  ?cancelled:(unit -> bool) ->
+  Adapter.t ->
+  Test_matrix.t ->
+  result

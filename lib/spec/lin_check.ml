@@ -6,19 +6,32 @@ module Op = Lineup_history.Op
    (set of linearized operations, specification state) as in Lowe's
    "Testing for linearizability". Operations are indexed in an array; sets
    are bitmasks, so histories are limited to 62 operations — far beyond the
-   3x3 tests of the paper. *)
+   3x3 tests of the paper, but reachable via the auto generators. Oversized
+   histories surface as a structured [`Unsupported] in the [*_outcome] API
+   (the membership layer then degrades to the generic search); only the
+   legacy boolean API still raises. *)
+
+let max_ops = 62
+let too_many n = Fmt.str "Lin_check: %d operations exceed the %d-op bitmask" n max_ops
 
 let prepare h =
   let ops = Array.of_list (History.ops h) in
   let n = Array.length ops in
-  if n > 62 then invalid_arg "Lin_check: more than 62 operations";
-  let preds =
-    Array.init n (fun i ->
-        List.filter
-          (fun j -> Op.precedes ops.(j) ops.(i))
-          (List.init n (fun j -> j)))
-  in
-  ops, n, preds
+  if n > max_ops then Error (too_many n)
+  else begin
+    let preds =
+      Array.init n (fun i ->
+          List.filter
+            (fun j -> Op.precedes ops.(j) ops.(i))
+            (List.init n (fun j -> j)))
+    in
+    Ok (ops, n, preds)
+  end
+
+let prepare_exn h =
+  match prepare h with
+  | Ok p -> p
+  | Error _ -> invalid_arg "Lin_check: more than 62 operations"
 
 let bit i = 1 lsl i
 
@@ -65,8 +78,54 @@ let search (spec : 'st Spec.t) ops n preds ~allow_pending ~final_check =
   in
   go 0 spec.Spec.initial []
 
+let check_outcome spec h =
+  match prepare h with
+  | Error reason -> `Unsupported reason
+  | Ok (ops, n, preds) -> (
+    match search spec ops n preds ~allow_pending:true ~final_check:(fun _ -> true) with
+    | Some _ -> `Linearizable
+    | None -> `Not_linearizable)
+
+let check_stuck_outcome spec h =
+  if not (History.is_stuck h) then invalid_arg "Lin_check.check_stuck: history is not stuck";
+  let justified (e : Op.t) =
+    (* Witness for H[e]: all complete operations of [h] linearized in some
+       <H-consistent order, after which the specification blocks on [e]'s
+       invocation. The other pending calls are removed by the H[e]
+       construction, hence excluded from the search. *)
+    let he = History.restrict_to_pending h e in
+    match prepare he with
+    | Error reason -> Error reason
+    | Ok (ops, n, preds) ->
+      let final_check st =
+        match spec.Spec.step st e.inv with Spec.Blocked -> true | Spec.Return _ -> false
+      in
+      (* In H[e] the only pending operation is [e] itself, which must not be
+         linearized (it appears as the final pending call of the witness). *)
+      Ok (Option.is_some (search spec ops n preds ~allow_pending:false ~final_check))
+  in
+  let rec go = function
+    | [] -> `Justified
+    | e :: rest -> (
+      match justified e with
+      | Error reason -> `Unsupported reason
+      | Ok true -> go rest
+      | Ok false -> `Unjustified e)
+  in
+  go (History.pending_ops h)
+
+let check_general_outcome spec h =
+  if History.is_stuck h then
+    match check_stuck_outcome spec h with
+    | `Justified -> `Linearizable
+    | `Unjustified _ -> `Not_linearizable
+    | `Unsupported reason -> `Unsupported reason
+  else check_outcome spec h
+
+(* ---- legacy boolean API (raises on oversized histories) ---- *)
+
 let linearization_rev spec h ~final_check =
-  let ops, n, preds = prepare h in
+  let ops, n, preds = prepare_exn h in
   match search spec ops n preds ~allow_pending:true ~final_check with
   | Some rev_indices -> Some (List.rev_map (fun i -> ops.(i)) rev_indices)
   | None -> None
@@ -82,24 +141,10 @@ let check_complete spec h =
   check spec h
 
 let check_stuck spec h =
-  if not (History.is_stuck h) then invalid_arg "Lin_check.check_stuck: history is not stuck";
-  let justified (e : Op.t) =
-    (* Witness for H[e]: all complete operations of [h] linearized in some
-       <H-consistent order, after which the specification blocks on [e]'s
-       invocation. The other pending calls are removed by the H[e]
-       construction, hence excluded from the search. *)
-    let he = History.restrict_to_pending h e in
-    let ops, n, preds = prepare he in
-    let final_check st =
-      match spec.Spec.step st e.inv with Spec.Blocked -> true | Spec.Return _ -> false
-    in
-    (* In H[e] the only pending operation is [e] itself, which must not be
-       linearized (it appears as the final pending call of the witness). *)
-    Option.is_some (search spec ops n preds ~allow_pending:false ~final_check)
-  in
-  match List.find_opt (fun e -> not (justified e)) (History.pending_ops h) with
-  | None -> Ok ()
-  | Some e -> Error e
+  match check_stuck_outcome spec h with
+  | `Justified -> Ok ()
+  | `Unjustified e -> Error e
+  | `Unsupported _ -> invalid_arg "Lin_check: more than 62 operations"
 
 let check_general spec h =
   if History.is_stuck h then match check_stuck spec h with Ok () -> true | Error _ -> false

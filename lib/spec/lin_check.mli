@@ -6,23 +6,54 @@
     Lowe-style memoization on (set of linearized operations, specification
     state).
 
-    In this codebase it serves as an independent oracle: the test suite
-    checks that the two-phase Line-Up verdict and the direct verdict agree
-    on histories produced by the model checker. *)
+    In this codebase it serves two roles: an independent oracle — the test
+    suite checks that the two-phase Line-Up verdict and the direct verdict
+    agree on histories produced by the model checker — and the per-part
+    membership check behind the P-compositional splitter ({!Pcomp}) and the
+    [--membership monitor] dispatch ({!Spec_check}).
 
-(** [check spec h] — Definition 1: can [h] be extended (completing or
-    dropping its pending calls) so that [complete h'] has a serial witness in
-    the specification? *)
+    The bitmask representation limits one search to 62 operations. The
+    [*_outcome] functions report oversized inputs as a structured
+    [`Unsupported] so callers can degrade to the generic observation search
+    instead of aborting the run; the legacy boolean API below raises
+    [Invalid_argument] as before. *)
+
+(** [check_outcome spec h] — Definition 1: can [h] be extended (completing
+    or dropping its pending calls) so that [complete h'] has a serial
+    witness in the specification? *)
+val check_outcome :
+  'st Spec.t ->
+  Lineup_history.History.t ->
+  [ `Linearizable | `Not_linearizable | `Unsupported of string ]
+
+(** [check_stuck_outcome spec h] — Definition 2: every pending operation [e]
+    of stuck history [h] must have a serial witness for [H[e]] in the
+    blocked extension [Ȳ] of the specification; [`Unjustified e] carries
+    the first pending operation without one. Raises [Invalid_argument] if
+    [h] is not stuck. *)
+val check_stuck_outcome :
+  'st Spec.t ->
+  Lineup_history.History.t ->
+  [ `Justified | `Unjustified of Lineup_history.Op.t | `Unsupported of string ]
+
+(** [check_general_outcome spec h] — Definition 3 applied to one history:
+    stuck histories checked per Definition 2, others per Definition 1. *)
+val check_general_outcome :
+  'st Spec.t ->
+  Lineup_history.History.t ->
+  [ `Linearizable | `Not_linearizable | `Unsupported of string ]
+
+(** [check spec h] — Definition 1, as a boolean. Raises [Invalid_argument]
+    on histories of more than 62 operations. *)
 val check : 'st Spec.t -> Lineup_history.History.t -> bool
 
 (** [check_complete spec h] — Definition 1 restricted to complete histories.
     Raises [Invalid_argument] if [h] has pending operations. *)
 val check_complete : 'st Spec.t -> Lineup_history.History.t -> bool
 
-(** [check_stuck spec h] — Definition 2: every pending operation [e] of stuck
-    history [h] has a serial witness for [H[e]] in the blocked extension
-    [Ȳ] of the specification. Returns the first unjustified pending
-    operation on failure. *)
+(** [check_stuck spec h] — Definition 2. Returns the first unjustified
+    pending operation on failure. Raises [Invalid_argument] on oversized
+    histories. *)
 val check_stuck :
   'st Spec.t -> Lineup_history.History.t -> (unit, Lineup_history.Op.t) result
 

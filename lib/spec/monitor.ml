@@ -1,0 +1,267 @@
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Op = Lineup_history.Op
+module Invocation = Lineup_history.Invocation
+
+(* Decrease-and-conquer membership monitors in the style of Lee & Mathur:
+   for unambiguous complete histories over the insert/remove vocabulary of a
+   queue or a stack, linearizability reduces to a fixed set of pairwise
+   interval conditions plus (for the stack) a greedy peeling loop — no
+   witness enumeration. Near-linear instead of the exponential generic
+   search; anything outside the supported fragment is reported as
+   [Unsupported] and the caller falls back.
+
+   Position arithmetic: [Op.call_pos]/[Op.ret_pos] are event indices in the
+   enclosing history, all distinct. A linearization point lies strictly
+   between two adjacent events; "slot s" denotes the gap just after event
+   [s], so operation [x] may linearize in any slot of
+   [call_pos x .. ret_pos x - 1], and a matched value [v] is definitely
+   present in slots [ret(insert v) .. call(remove v) - 1] (to infinity when
+   never removed) — outside that range a witness can always order the pair
+   around any chosen point. *)
+
+type verdict =
+  | Accept
+  | Reject
+  | Unsupported of string
+
+exception Verdict of verdict
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Verdict (Unsupported s))) fmt
+let reject () = raise (Verdict Reject)
+let ret_pos (op : Op.t) = match op.ret_pos with Some p -> p | None -> assert false
+
+(* Merge inclusive integer intervals, joining adjacent ones, so that the
+   merged list covers an integer iff some input interval does. *)
+let merge_intervals ivs =
+  let ivs = List.sort (fun (a, _) (b, _) -> Int.compare a b) ivs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (lo, hi) :: rest -> (
+      match acc with
+      | (alo, ahi) :: acc' when lo <= ahi + 1 -> go ((alo, max ahi hi) :: acc') rest
+      | _ -> go ((lo, hi) :: acc) rest)
+  in
+  go [] ivs
+
+let fully_covered merged ~lo ~hi =
+  List.exists (fun (mlo, mhi) -> mlo <= lo && hi <= mhi) merged
+
+(* Shared classification state: per value, its insert and remove operation.
+   Unambiguity means each value is inserted at most once; a value removed
+   twice, or removed but never inserted, has no serial explanation. *)
+type pair = {
+  mutable ins : Op.t option;
+  mutable rem : Op.t option;
+}
+
+let classify ~insert_name ~remove_names ~remove_may_fail h =
+  let pairs : (Value.t, pair) Hashtbl.t = Hashtbl.create 16 in
+  let empties = ref [] in
+  let pair_of v =
+    match Hashtbl.find_opt pairs v with
+    | Some p -> p
+    | None ->
+      let p = { ins = None; rem = None } in
+      Hashtbl.add pairs v p;
+      p
+  in
+  List.iter
+    (fun (op : Op.t) ->
+      let resp =
+        match op.resp with
+        | Some r -> r
+        | None -> unsupported "pending operation"
+      in
+      let name = op.inv.Invocation.name in
+      if String.equal name insert_name then begin
+        (match op.inv.Invocation.arg with
+         | Value.Int _ -> ()
+         | _ -> unsupported "non-integer %s argument" insert_name);
+        if not (Value.equal resp Value.unit) then reject ();
+        let p = pair_of op.inv.Invocation.arg in
+        (match p.ins with
+         | Some _ -> unsupported "ambiguous: value inserted twice"
+         | None -> p.ins <- Some op)
+      end
+      else if List.mem name remove_names then begin
+        (match op.inv.Invocation.arg with
+         | Value.Unit -> ()
+         | _ -> unsupported "unexpected %s argument" name);
+        match resp with
+        | Value.Fail ->
+          if remove_may_fail name then empties := op :: !empties else reject ()
+        | Value.Int _ -> (
+          let p = pair_of resp in
+          match p.rem with
+          | Some _ -> reject () (* value removed twice, inserted at most once *)
+          | None -> p.rem <- Some op)
+        | _ -> reject ()
+      end
+      else unsupported "unsupported operation %s" name)
+    (History.ops h);
+  let values =
+    Hashtbl.fold
+      (fun _v p acc ->
+        match p.ins, p.rem with
+        | None, Some _ -> reject () (* removed but never inserted *)
+        | Some ins, rem ->
+          (* value safety: the remove must not precede its insert *)
+          (match rem with Some r when Op.precedes r ins -> reject () | _ -> ());
+          (ins, rem) :: acc
+        | None, None -> acc)
+      pairs []
+  in
+  values, !empties
+
+(* Definite-presence slot intervals of the matched values; an empty-remove
+   is justifiable iff some slot of its own range lies outside all of them. *)
+let check_empties values empties =
+  let covers =
+    List.filter_map
+      (fun (ins, rem) ->
+        let lo = ret_pos ins in
+        let hi = match rem with Some r -> r.Op.call_pos - 1 | None -> max_int in
+        if lo <= hi then Some (lo, hi) else None)
+      values
+  in
+  let merged = merge_intervals covers in
+  List.iter
+    (fun (z : Op.t) ->
+      if fully_covered merged ~lo:z.Op.call_pos ~hi:(ret_pos z - 1) then reject ())
+    empties
+
+(* ------------------------------------------------------------------ *)
+(* Queue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* FIFO condition (the bad-pattern characterization): the history is
+   rejected iff there are values v, w with insert(v) <H insert(w), w
+   removed, and either v is never removed or remove(w) <H remove(v).
+   Encoding an unmatched v as remove-call position +inf turns the test for
+   each w into a prefix maximum over the values whose insert returned
+   before insert(w)'s call — O(V log V) total. *)
+let check_fifo values =
+  let arr = Array.of_list values in
+  Array.sort (fun (e1, _) (e2, _) -> Int.compare (ret_pos e1) (ret_pos e2)) arr;
+  let n = Array.length arr in
+  let e_rets = Array.map (fun (e, _) -> ret_pos e) arr in
+  let prefix_max_rcall = Array.make (n + 1) min_int in
+  Array.iteri
+    (fun i (_, r) ->
+      let rc = match r with Some r -> r.Op.call_pos | None -> max_int in
+      prefix_max_rcall.(i + 1) <- max prefix_max_rcall.(i) rc)
+    arr;
+  (* number of values whose insert returned before position [x] *)
+  let count_before x =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if e_rets.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.iter
+    (fun ((e : Op.t), r) ->
+      match r with
+      | None -> ()
+      | Some r ->
+        let k = count_before e.Op.call_pos in
+        if prefix_max_rcall.(k) > ret_pos r then reject ())
+    arr
+
+let check_queue h =
+  try
+    let values, empties =
+      classify
+        ~insert_name:"Enqueue"
+        ~remove_names:[ "TryDequeue"; "Take" ]
+        ~remove_may_fail:(String.equal "TryDequeue")
+        h
+    in
+    check_fifo values;
+    check_empties values empties;
+    Accept
+  with Verdict v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Stack                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy peeling: a matched value [v] is eligible when no other
+   insert/remove operation is forced strictly between push(v) and pop(v)
+   (i.e. lies entirely inside the open gap (ret(push v), call(pop v))) —
+   then push(v); pop(v) can appear adjacently in a witness and removing the
+   pair preserves linearizability in both directions. Repeat until every
+   matched value is peeled; getting stuck means some value can never reach
+   the top when it is popped. Pop-empties never block: one forced strictly
+   inside a gap is already rejected by the covering check (the value is
+   definitely present throughout). Unmatched pushes block forever, which is
+   exactly right — a value stuck above [v] that is never popped. *)
+let check_peel values =
+  let matched =
+    Array.of_list (List.filter_map (fun (i, r) -> Option.map (fun r -> i, r) r) values)
+  in
+  let nv = Array.length matched in
+  let blockers =
+    List.concat_map (fun (i, r) -> i :: Option.to_list r) values
+  in
+  let inside (x : Op.t) vi =
+    let (ins : Op.t), (rem : Op.t) = matched.(vi) in
+    x.Op.call_pos > ret_pos ins && ret_pos x < rem.Op.call_pos
+  in
+  let counts = Array.make nv 0 in
+  (* per blocking operation, the gaps it currently blocks *)
+  let gaps_of : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (x : Op.t) ->
+      let gs = List.filter (inside x) (List.init nv (fun i -> i)) in
+      List.iter (fun vi -> counts.(vi) <- counts.(vi) + 1) gs;
+      if gs <> [] then Hashtbl.replace gaps_of (Op.key x) gs)
+    blockers;
+  let peeled = Array.make nv false in
+  let ready = Queue.create () in
+  Array.iteri (fun vi c -> if c = 0 then Queue.add vi ready) counts;
+  let remaining = ref nv in
+  let release (x : Op.t) =
+    List.iter
+      (fun vi ->
+        counts.(vi) <- counts.(vi) - 1;
+        if counts.(vi) = 0 && not peeled.(vi) then Queue.add vi ready)
+      (Option.value ~default:[] (Hashtbl.find_opt gaps_of (Op.key x)))
+  in
+  while not (Queue.is_empty ready) do
+    let vi = Queue.pop ready in
+    if not peeled.(vi) then begin
+      peeled.(vi) <- true;
+      decr remaining;
+      let ins, rem = matched.(vi) in
+      release ins;
+      release rem
+    end
+  done;
+  if !remaining > 0 then reject ()
+
+let check_stack h =
+  try
+    let values, empties =
+      classify
+        ~insert_name:"Push"
+        ~remove_names:[ "TryPop" ]
+        ~remove_may_fail:(fun _ -> true)
+        h
+    in
+    check_empties values empties;
+    check_peel values;
+    Accept
+  with Verdict v -> v
+
+(* Dispatch by specification class; [Set]/[Dictionary] go through the
+   P-compositional splitter ({!Pcomp}) instead, and every other class has
+   no monitor. *)
+let check ~(cls : Spec.cls) h =
+  match cls with
+  | Spec.Queue -> check_queue h
+  | Spec.Stack -> check_stack h
+  | Spec.Set | Spec.Dictionary | Spec.Counter | Spec.Other ->
+    Unsupported ("no monitor for class " ^ Spec.cls_name cls)

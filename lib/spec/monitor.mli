@@ -1,0 +1,37 @@
+(** Decrease-and-conquer membership monitors (Lee & Mathur style) for
+    unambiguous complete queue and stack histories.
+
+    For the insert/remove fragment of the vocabulary — [Enqueue]/
+    [TryDequeue]/[Take] for queues, [Push]/[TryPop] for stacks — with every
+    inserted value distinct (unambiguity) and an empty initial state,
+    linearizability is decided by interval conditions on event positions in
+    near-linear time instead of a witness search:
+
+    - value safety: a removed value was inserted, exactly once, and its
+      remove does not precede its insert;
+    - queue FIFO: no values [v, w] with [insert v <H insert w], [w] removed,
+      and ([v] never removed or [remove w <H remove v]);
+    - empty removes: a [TryDequeue]/[TryPop] returning [Fail] must admit a
+      linearization point outside every interval in which some value is
+      definitely present;
+    - stack LIFO: greedy peeling — repeatedly delete a matched push/pop pair
+      with no other insert/remove forced strictly between them; the history
+      is linearizable iff all matched pairs peel.
+
+    Histories using any other operation (peeks, counts, ranges), a
+    non-integer value, a pending operation, or an ambiguous (re-inserted)
+    value are reported [Unsupported]; the caller ({!Spec_check}) falls back
+    to the generic search. The test suite cross-validates every verdict
+    against {!Lin_check} on random histories. *)
+
+type verdict =
+  | Accept  (** linearizable w.r.t. the class specification *)
+  | Reject  (** no serial witness exists *)
+  | Unsupported of string  (** outside the monitored fragment — fall back *)
+
+val check_queue : Lineup_history.History.t -> verdict
+val check_stack : Lineup_history.History.t -> verdict
+
+(** [check ~cls h] dispatches on the specification class; classes without a
+    monitor answer [Unsupported]. *)
+val check : cls:Spec.cls -> Lineup_history.History.t -> verdict

@@ -1,18 +1,35 @@
 module Value = Lineup_value.Value
 module Invocation = Lineup_history.Invocation
 
+type cls =
+  | Queue
+  | Stack
+  | Set
+  | Dictionary
+  | Counter
+  | Other
+
 type 'st outcome =
   | Return of Value.t * 'st
   | Blocked
 
 type 'st t = {
   name : string;
+  cls : cls;
   initial : 'st;
   step : 'st -> Invocation.t -> 'st outcome;
   state_key : 'st -> string;
 }
 
 type packed = Packed : 'st t -> packed
+
+let cls_name = function
+  | Queue -> "queue"
+  | Stack -> "stack"
+  | Set -> "set"
+  | Dictionary -> "dictionary"
+  | Counter -> "counter"
+  | Other -> "other"
 
 let run spec invs =
   let rec go st = function
@@ -23,3 +40,14 @@ let run spec invs =
       | Blocked -> [ inv, None ])
   in
   go spec.initial invs
+
+let advance spec invs =
+  List.fold_left
+    (fun acc inv ->
+      match acc with
+      | None -> None
+      | Some st -> (
+        match spec.step st inv with
+        | Return (_, st') -> Some st'
+        | Blocked -> None))
+    (Some spec.initial) invs

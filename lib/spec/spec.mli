@@ -13,12 +13,28 @@
     [Blocked] models operations that must wait (the semaphore-like [dec] of
     the paper's counter example). *)
 
+(** The abstract-data-type class of a specification. The spec-specialized
+    phase-2 membership layer dispatches on it: {!Spec_check} runs the
+    decrease-and-conquer monitors of {!Monitor} for [Queue]/[Stack] and the
+    P-compositional per-key splitter of {!Pcomp} for [Set]/[Dictionary];
+    every other class (and every unsupported history) falls back to the
+    generic search. The class is a routing hint only — it never changes
+    which histories are enumerated or what a verdict means. *)
+type cls =
+  | Queue  (** FIFO: values enter at the tail, leave at the head *)
+  | Stack  (** LIFO *)
+  | Set  (** membership keyed by an integer argument *)
+  | Dictionary  (** key-value map keyed by an integer argument *)
+  | Counter  (** scalar state, no per-key structure *)
+  | Other  (** no specialized membership path *)
+
 type 'st outcome =
   | Return of Lineup_value.Value.t * 'st
   | Blocked  (** the invocation cannot proceed in this state *)
 
 type 'st t = {
   name : string;
+  cls : cls;
   initial : 'st;
   step : 'st -> Lineup_history.Invocation.t -> 'st outcome;
   state_key : 'st -> string;
@@ -29,6 +45,8 @@ type 'st t = {
 (** A specification with its state type hidden. *)
 type packed = Packed : 'st t -> packed
 
+val cls_name : cls -> string
+
 (** [run spec invs] applies the invocations in order from the initial state,
     returning the responses; stops early at the first blocked invocation
     (returning [None] in that slot and ending the list there). *)
@@ -36,3 +54,9 @@ val run :
   'st t ->
   Lineup_history.Invocation.t list ->
   (Lineup_history.Invocation.t * Lineup_value.Value.t option) list
+
+(** [advance spec invs] is the state reached by applying the invocations in
+    order from the initial state, or [None] if any of them blocks or none is
+    reachable. Used to fold a test's unrecorded [init] sequence into the
+    specification before checking recorded histories against it. *)
+val advance : 'st t -> Lineup_history.Invocation.t list -> 'st option

@@ -1,0 +1,57 @@
+module History = Lineup_history.History
+module Op = Lineup_history.Op
+module Invocation = Lineup_history.Invocation
+
+type decision =
+  | Accept
+  | Reject
+  | Reject_stuck of Op.t
+  | Unsupported of string
+
+type meth =
+  | Monitor_check
+  | Pcomp_check
+  | Direct_check
+
+let meth_name = function
+  | Monitor_check -> "monitor"
+  | Pcomp_check -> "pcomp"
+  | Direct_check -> "direct"
+
+(* The dispatch ladder. The test's [init] sequence runs unrecorded before
+   the threads (see [Lineup.Harness]), so the specification must first be
+   advanced over it; the class monitors assume an empty initial state and
+   are only consulted when there is no init sequence, while the splitter
+   and the direct check work from the advanced state. *)
+let decide ?(force_spec = false) (Spec.Packed spec) ~init h =
+  match Spec.advance spec init with
+  | None -> Unsupported "init sequence blocks", None
+  | Some st0 ->
+    let spec = { spec with Spec.initial = st0 } in
+    let direct () =
+      if not force_spec then Unsupported "no specialized check", None
+      else if History.is_stuck h then
+        match Lin_check.check_stuck_outcome spec h with
+        | `Justified -> Accept, Some Direct_check
+        | `Unjustified e -> Reject_stuck e, Some Direct_check
+        | `Unsupported r -> Unsupported r, None
+      else
+        match Lin_check.check_outcome spec h with
+        | `Linearizable -> Accept, Some Direct_check
+        | `Not_linearizable -> Reject, Some Direct_check
+        | `Unsupported r -> Unsupported r, None
+    in
+    if History.is_stuck h || not (History.is_complete h) then direct ()
+    else begin
+      let specialized =
+        match spec.Spec.cls with
+        | (Spec.Queue | Spec.Stack) when init = [] ->
+          Some (Monitor.check ~cls:spec.Spec.cls h, Monitor_check)
+        | Spec.Set | Spec.Dictionary -> Some (Pcomp.check spec h, Pcomp_check)
+        | Spec.Queue | Spec.Stack | Spec.Counter | Spec.Other -> None
+      in
+      match specialized with
+      | Some (Monitor.Accept, m) -> Accept, Some m
+      | Some (Monitor.Reject, m) -> Reject, Some m
+      | Some (Monitor.Unsupported _, _) | None -> direct ()
+    end

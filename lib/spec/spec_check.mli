@@ -1,0 +1,49 @@
+(** Spec-specialized phase-2 membership: one history, one decision.
+
+    Dispatch ladder, driven by the declared {!Spec.cls} of the adapter's
+    specification:
+
+    - complete history, class [Queue]/[Stack], no init sequence → the
+      decrease-and-conquer {!Monitor};
+    - complete history, class [Set]/[Dictionary] → the P-compositional
+      per-key splitter {!Pcomp} (each part checked by {!Lin_check} with a
+      fresh memo table);
+    - anything the specialized checks refuse — and, with [force_spec], stuck
+      or pending histories — the direct Wing–Gong search {!Lin_check}
+      ([check_stuck_outcome] for stuck histories per Definition 2);
+    - otherwise [Unsupported]: the caller must fall back to the generic
+      observation search.
+
+    A test's [init] sequence is folded into the specification's initial
+    state first ({!Spec.advance}); the monitors additionally require an
+    empty init (they assume the structure starts empty).
+
+    This layer only ever {e consumes} histories the exploration already
+    produced — it cannot perturb schedule enumeration, so history counts
+    and fingerprints are identical across membership modes by construction. *)
+
+type decision =
+  | Accept  (** linearizable — counts as a witness found *)
+  | Reject  (** complete history with no serial witness *)
+  | Reject_stuck of Lineup_history.Op.t
+      (** stuck history whose pending operation is unjustified (Def. 2) *)
+  | Unsupported of string  (** no spec-specialized answer — use the generic search *)
+
+type meth =
+  | Monitor_check  (** decided by a class monitor *)
+  | Pcomp_check  (** decided by the per-key splitter *)
+  | Direct_check  (** decided by the direct Wing–Gong search *)
+
+val meth_name : meth -> string
+
+(** [decide ?force_spec packed_spec ~init h]. With [force_spec] (the
+    [--membership monitor] mode) histories outside the monitored fragment
+    are checked by the direct search instead of being handed back; without
+    it (the [auto] mode) only the near-linear specialized checks answer.
+    The returned method is [None] iff the decision is [Unsupported]. *)
+val decide :
+  ?force_spec:bool ->
+  Spec.packed ->
+  init:Lineup_history.Invocation.t list ->
+  Lineup_history.History.t ->
+  decision * meth option

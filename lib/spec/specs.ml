@@ -16,7 +16,7 @@ let counter =
     | "Set", Value.Int x -> Return (Value.unit, x)
     | _ -> unexpected "counter" inv
   in
-  { name = "counter"; initial = 0; step; state_key = string_of_int }
+  { name = "counter"; cls = Counter; initial = 0; step; state_key = string_of_int }
 
 let register =
   let step st (inv : Invocation.t) =
@@ -27,7 +27,7 @@ let register =
       if st = a then Return (Value.bool true, b) else Return (Value.bool false, st)
     | _ -> unexpected "register" inv
   in
-  { name = "register"; initial = 0; step; state_key = string_of_int }
+  { name = "register"; cls = Other; initial = 0; step; state_key = string_of_int }
 
 let queue =
   let step st (inv : Invocation.t) =
@@ -44,7 +44,7 @@ let queue =
     | "ToArray", Value.Unit, _ -> Return (Value.list (List.map Value.int st), st)
     | _ -> unexpected "queue" inv
   in
-  { name = "queue"; initial = []; step; state_key = int_list_key }
+  { name = "queue"; cls = Queue; initial = []; step; state_key = int_list_key }
 
 let stack =
   let step st (inv : Invocation.t) =
@@ -74,7 +74,7 @@ let stack =
     | "ToArray", Value.Unit, _ -> Return (Value.list (List.map Value.int st), st)
     | _ -> unexpected "stack" inv
   in
-  { name = "stack"; initial = []; step; state_key = int_list_key }
+  { name = "stack"; cls = Stack; initial = []; step; state_key = int_list_key }
 
 let semaphore ~initial =
   let step st (inv : Invocation.t) =
@@ -87,7 +87,7 @@ let semaphore ~initial =
     | "CurrentCount", Value.Unit -> Return (Value.int st, st)
     | _ -> unexpected "semaphore" inv
   in
-  { name = "semaphore"; initial; step; state_key = string_of_int }
+  { name = "semaphore"; cls = Counter; initial; step; state_key = string_of_int }
 
 let manual_reset_event ~initial =
   let step st (inv : Invocation.t) =
@@ -99,7 +99,7 @@ let manual_reset_event ~initial =
     | "IsSet", Value.Unit -> Return (Value.bool st, st)
     | _ -> unexpected "manual_reset_event" inv
   in
-  { name = "manual_reset_event"; initial; step; state_key = string_of_bool }
+  { name = "manual_reset_event"; cls = Other; initial; step; state_key = string_of_bool }
 
 let key_set =
   let step st (inv : Invocation.t) =
@@ -114,7 +114,42 @@ let key_set =
     | "Count", Value.Unit -> Return (Value.int (List.length st), st)
     | _ -> unexpected "key_set" inv
   in
-  { name = "key_set"; initial = []; step; state_key = int_list_key }
+  { name = "key_set"; cls = Set; initial = []; step; state_key = int_list_key }
+
+(* The key-value map of [Lineup_conc.Concurrent_dictionary]: same value
+   conventions (TryAdd stores k*100, Set stores k*100+1, TryUpdate
+   increments) so the locked reference and the striped implementation are
+   serially indistinguishable. State: assoc list sorted by key. *)
+let dictionary =
+  let sorted l = List.sort (fun (a, _) (b, _) -> Int.compare a b) l in
+  let step st (inv : Invocation.t) =
+    match inv.name, inv.arg with
+    | "TryAdd", Value.Int k ->
+      if List.mem_assoc k st then Return (Value.bool false, st)
+      else Return (Value.bool true, sorted ((k, k * 100) :: st))
+    | "TryRemove", Value.Int k ->
+      if List.mem_assoc k st then Return (Value.bool true, List.remove_assoc k st)
+      else Return (Value.bool false, st)
+    | ("TryGet" | "Get"), Value.Int k -> (
+      match List.assoc_opt k st with
+      | Some v -> Return (Value.int v, st)
+      | None -> Return (Value.Fail, st))
+    | "Set", Value.Int k ->
+      Return (Value.unit, sorted ((k, (k * 100) + 1) :: List.remove_assoc k st))
+    | "TryUpdate", Value.Int k -> (
+      match List.assoc_opt k st with
+      | Some v -> Return (Value.bool true, sorted ((k, v + 1) :: List.remove_assoc k st))
+      | None -> Return (Value.bool false, st))
+    | "ContainsKey", Value.Int k -> Return (Value.bool (List.mem_assoc k st), st)
+    | "Count", Value.Unit -> Return (Value.int (List.length st), st)
+    | "IsEmpty", Value.Unit -> Return (Value.bool (st = []), st)
+    | "Clear", Value.Unit -> Return (Value.unit, [])
+    | _ -> unexpected "dictionary" inv
+  in
+  let state_key st =
+    String.concat "," (List.map (fun (k, v) -> Fmt.str "%d:%d" k v) st)
+  in
+  { name = "dictionary"; cls = Dictionary; initial = []; step; state_key }
 
 let all =
   [
@@ -125,4 +160,5 @@ let all =
     Packed (semaphore ~initial:0);
     Packed (manual_reset_event ~initial:false);
     Packed key_set;
+    Packed dictionary;
   ]

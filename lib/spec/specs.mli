@@ -35,4 +35,10 @@ val manual_reset_event : initial:bool -> bool Spec.t
     changed the set. *)
 val key_set : int list Spec.t
 
+(** Key-value dictionary matching [Lineup_conc.Concurrent_dictionary]:
+    [TryAdd(k)] (stores [k*100]), [TryRemove(k)], [TryGet(k)]/[Get(k)],
+    [Set(k)] (stores [k*100+1]), [TryUpdate(k)] (increments),
+    [ContainsKey(k)], [Count], [IsEmpty], [Clear]. *)
+val dictionary : (int * int) list Spec.t
+
 val all : Spec.packed list

@@ -25,4 +25,5 @@ let () =
       "pipeline", Test_pipeline.tests;
       "tso", Test_tso.tests;
       "cross-validation", Test_crossval.tests;
+      "membership", Test_membership.tests;
     ]

@@ -1,0 +1,382 @@
+(* The spec-specialized phase-2 membership layer, cross-validated against
+   the generic machinery it replaces:
+
+   - the queue/stack decrease-and-conquer monitors against the Wing–Gong
+     oracle on random synthetic histories — both accepting and rejecting
+     ones, which harness-produced histories of correct implementations
+     cannot provide;
+   - the P-compositional per-key splitter against the whole-history oracle,
+     on synthetic set histories and on every history the harness actually
+     produces for the set/dictionary adapters (correct and seeded-bug);
+   - [Check.run] end-to-end: --membership auto/monitor against generic on
+     correct, seeded-bug and blocking adapters — same verdict, same
+     distinct-history count (the modes may only differ in wall-clock);
+   - [Lin_check]'s structured [`Unsupported] on >62-operation histories
+     (the legacy entry points still raise), and the splitter deciding a
+     63-operation history the direct search refuses;
+   - the [Minimize.reduce] descent skipping cancelled candidates — the
+     regression for "any non-passing candidate counts as failing". *)
+
+open Helpers
+module Value = Lineup_value.Value
+module History = Lineup_history.History
+module Lin_check = Lineup_spec.Lin_check
+module Monitor = Lineup_spec.Monitor
+module Pcomp = Lineup_spec.Pcomp
+module Spec = Lineup_spec.Spec
+module Specs = Lineup_spec.Specs
+module Explore = Lineup_scheduler.Explore
+module Conc = Lineup_conc
+open Lineup
+
+(* ---------------- synthetic history generation ---------------- *)
+
+(* A random well-formed complete history: [ops] are (inv, resp) pairs,
+   distributed round-robin-randomly over two threads, then interleaved by a
+   random walk over per-thread "call next / return current" moves. Every
+   generated history is complete (no pending operations). *)
+let interleave rng ops =
+  let cols = [| ref []; ref [] |] in
+  List.iter (fun op -> let c = cols.(Random.State.int rng 2) in c := op :: !c) ops;
+  let pending = Array.map (fun c -> ref (List.rev !c)) cols in
+  let in_flight = [| None; None |] in
+  let next_index = [| 0; 0 |] in
+  let events = ref [] in
+  let moves_left () =
+    Array.exists Option.is_some in_flight
+    || Array.exists (fun p -> !p <> []) pending
+  in
+  while moves_left () do
+    let tid = Random.State.int rng 2 in
+    match in_flight.(tid) with
+    | Some resp ->
+      events := ret tid next_index.(tid) resp :: !events;
+      in_flight.(tid) <- None;
+      next_index.(tid) <- next_index.(tid) + 1
+    | None -> (
+      match !(pending.(tid)) with
+      | [] -> ()
+      | (i, resp) :: rest ->
+        events := Lineup_history.Event.call ~tid ~op_index:next_index.(tid) i :: !events;
+        in_flight.(tid) <- Some resp;
+        pending.(tid) := rest)
+  done;
+  history (List.rev !events)
+
+(* Random queue/stack-shaped op multiset: distinct insert values; removes
+   answer [Fail] or a random insert value — duplicated and out-of-thin-air
+   answers included on purpose, so the generator produces rejecting
+   histories as well as accepting ones. *)
+let random_lifo_fifo_ops rng ~insert ~remove =
+  let n = 2 + Random.State.int rng 5 in
+  let kinds = List.init n (fun i -> i, Random.State.bool rng) in
+  let inserts = List.filter_map (fun (i, k) -> if k then Some (100 * (i + 1)) else None) kinds in
+  List.map
+    (fun (i, k) ->
+      if k then inv_int insert (100 * (i + 1)), Value.unit
+      else
+        let resp =
+          if inserts = [] || Random.State.int rng 3 = 0 then Value.Fail
+          else Value.int (List.nth inserts (Random.State.int rng (List.length inserts)))
+        in
+        inv remove, resp)
+    kinds
+
+let random_set_ops rng =
+  let n = 2 + Random.State.int rng 5 in
+  List.init n (fun _ ->
+      let name = List.nth [ "Add"; "Remove"; "Contains" ] (Random.State.int rng 3) in
+      let key = 1 + Random.State.int rng 2 in
+      inv_int name key, Value.bool (Random.State.bool rng))
+
+let seed_arb = QCheck.make QCheck.Gen.small_signed_int
+
+(* ---------------- monitor vs the Wing–Gong oracle ---------------- *)
+
+let monitor_agrees ~name ~cls ~spec ~insert ~remove =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:500 seed_arb (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let h = interleave rng (random_lifo_fifo_ops rng ~insert ~remove) in
+         match Monitor.check ~cls h, Lin_check.check_outcome spec h with
+         | Monitor.Accept, `Linearizable | Monitor.Reject, `Not_linearizable -> true
+         | Monitor.Unsupported _, _ ->
+           (* distinct insert values + complete histories: the monitor must
+              always be decisive here *)
+           false
+         | _, `Unsupported _ -> false (* tiny histories never overflow *)
+         | Monitor.Accept, `Not_linearizable | Monitor.Reject, `Linearizable -> false))
+
+let monitor_props =
+  [
+    monitor_agrees ~name:"queue monitor agrees with the oracle (random histories)"
+      ~cls:Spec.Queue ~spec:Specs.queue ~insert:"Enqueue" ~remove:"TryDequeue";
+    monitor_agrees ~name:"stack monitor agrees with the oracle (random histories)"
+      ~cls:Spec.Stack ~spec:Specs.stack ~insert:"Push" ~remove:"TryPop";
+  ]
+
+(* deterministic corner cases, so a qcheck seed change cannot hide them *)
+let monitor_units =
+  let u = Value.unit in
+  [
+    test "monitor: FIFO inversion rejected" (fun () ->
+        let h =
+          history
+            [
+              call 0 0 "Enqueue" ~arg:(Value.int 1) (); ret 0 0 u;
+              call 0 1 "Enqueue" ~arg:(Value.int 2) (); ret 0 1 u;
+              call 1 0 "TryDequeue" (); ret 1 0 (Value.int 2);
+              call 1 1 "TryDequeue" (); ret 1 1 (Value.int 1);
+            ]
+        in
+        Alcotest.(check bool) "rejected" true (Monitor.check_queue h = Monitor.Reject);
+        Alcotest.(check bool) "oracle agrees" false (Lin_check.check Specs.queue h));
+    test "monitor: covered empty dequeue rejected" (fun () ->
+        let h =
+          history
+            [
+              call 0 0 "Enqueue" ~arg:(Value.int 7) (); ret 0 0 u;
+              call 1 0 "TryDequeue" (); ret 1 0 Value.Fail;
+            ]
+        in
+        Alcotest.(check bool) "rejected" true (Monitor.check_queue h = Monitor.Reject));
+    test "monitor: overlapping enqueues accept either dequeue order" (fun () ->
+        let h =
+          history
+            [
+              call 0 0 "Enqueue" ~arg:(Value.int 1) ();
+              call 1 0 "Enqueue" ~arg:(Value.int 2) ();
+              ret 0 0 u; ret 1 0 u;
+              call 0 1 "TryDequeue" (); ret 0 1 (Value.int 2);
+              call 1 1 "TryDequeue" (); ret 1 1 (Value.int 1);
+            ]
+        in
+        Alcotest.(check bool) "accepted" true (Monitor.check_queue h = Monitor.Accept));
+    test "monitor: LIFO pop order rejected on a queue, accepted on a stack" (fun () ->
+        let events insert remove =
+          [
+            call 0 0 insert ~arg:(Value.int 1) (); ret 0 0 u;
+            call 0 1 insert ~arg:(Value.int 2) (); ret 0 1 u;
+            call 1 0 remove (); ret 1 0 (Value.int 2);
+            call 1 1 remove (); ret 1 1 (Value.int 1);
+          ]
+        in
+        Alcotest.(check bool) "stack accepts" true
+          (Monitor.check_stack (history (events "Push" "TryPop")) = Monitor.Accept);
+        Alcotest.(check bool) "queue rejects" true
+          (Monitor.check_queue (history (events "Enqueue" "TryDequeue")) = Monitor.Reject));
+    test "monitor: pending operation is Unsupported" (fun () ->
+        let h =
+          history ~stuck:true [ call 0 0 "Enqueue" ~arg:(Value.int 1) (); ret 0 0 u; call 1 0 "TryDequeue" () ]
+        in
+        match Monitor.check_queue h with
+        | Monitor.Unsupported _ -> ()
+        | _ -> Alcotest.fail "expected Unsupported on a pending op");
+  ]
+
+(* ---------------- splitter vs the whole-history oracle ---------------- *)
+
+let pcomp_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pcomp agrees with the whole-history oracle (random set histories)"
+         ~count:500 seed_arb (fun seed ->
+             let rng = Random.State.make [| seed + 31 |] in
+             let h = interleave rng (random_set_ops rng) in
+             match Pcomp.check Specs.key_set h, Lin_check.check_outcome Specs.key_set h with
+             | Monitor.Accept, `Linearizable | Monitor.Reject, `Not_linearizable -> true
+             | Monitor.Unsupported _, _ -> false (* every op here is keyed *)
+             | _ -> false));
+  ]
+
+(* every history the harness actually produces for the keyed adapters *)
+let explore_histories adapter test ~cap =
+  let histories = ref [] in
+  let config = { Explore.default_config with Explore.max_executions = Some cap } in
+  let _ =
+    Harness.run_phase config ~adapter ~test ~on_history:(fun r ->
+        histories := r.Harness.history :: !histories;
+        `Continue)
+  in
+  !histories
+
+let pcomp_harness_tests =
+  let check_adapter name adapter (Spec.Packed spec) columns =
+    test (Fmt.str "pcomp agrees on every explored %s history" name) (fun () ->
+        let histories = explore_histories adapter (Test_matrix.make columns) ~cap:400 in
+        let decided = ref 0 in
+        List.iter
+          (fun h ->
+            if not (History.is_stuck h) then
+              match Pcomp.check spec h with
+              | Monitor.Unsupported _ -> () (* unkeyed op (Count/Clear/...) *)
+              | Monitor.Accept ->
+                incr decided;
+                Alcotest.(check bool) "oracle accepts too" true (Lin_check.check spec h)
+              | Monitor.Reject ->
+                incr decided;
+                Alcotest.(check bool) "oracle rejects too" false (Lin_check.check spec h))
+          histories;
+        Alcotest.(check bool) "some histories were decided" true (!decided > 0))
+  in
+  [
+    check_adapter "LazyListSet" Conc.Lazy_list_set.correct (Spec.Packed Specs.key_set)
+      [ [ inv_int "Add" 10; inv_int "Remove" 10 ]; [ inv_int "Add" 15; inv_int "Contains" 10 ] ];
+    check_adapter "LazyListSet (Pre)" Conc.Lazy_list_set.pre (Spec.Packed Specs.key_set)
+      [ [ inv_int "Add" 10; inv_int "Remove" 10 ]; [ inv_int "Contains" 10; inv_int "Add" 10 ] ];
+    check_adapter "ConcurrentDictionary" Conc.Concurrent_dictionary.adapter
+      (Spec.Packed Specs.dictionary)
+      [ [ inv_int "TryAdd" 10; inv_int "TryGet" 10 ]; [ inv_int "Set" 10; inv_int "TryRemove" 10 ] ];
+  ]
+
+(* ---------------- Check.run: auto/monitor vs generic ---------------- *)
+
+let e2e_matrix =
+  [
+    (* correct keyed/monitored classes *)
+    "ConcurrentQueue", Conc.Concurrent_queue.correct,
+    Test_matrix.make
+      [ [ inv_int "Enqueue" 200; inv "TryDequeue" ]; [ inv_int "Enqueue" 400; inv "TryDequeue" ] ],
+    false;
+    "ConcurrentStack", Conc.Concurrent_stack.correct,
+    Test_matrix.make [ [ inv_int "Push" 1; inv "TryPop" ]; [ inv_int "Push" 2; inv "TryPop" ] ],
+    false;
+    "LazyListSet", Conc.Lazy_list_set.correct,
+    Test_matrix.make
+      [ [ inv_int "Add" 10; inv_int "Remove" 10 ]; [ inv_int "Add" 15; inv_int "Contains" 10 ] ],
+    false;
+    "ConcurrentDictionary", Conc.Concurrent_dictionary.adapter,
+    Test_matrix.make
+      [ [ inv_int "TryAdd" 10; inv_int "TryGet" 10 ]; [ inv_int "Set" 20; inv_int "TryRemove" 20 ] ],
+    false;
+    (* seeded bugs: every mode must still fail *)
+    "ConcurrentQueue (Pre)", Conc.Concurrent_queue.pre,
+    Test_matrix.make
+      [ [ inv_int "Enqueue" 200; inv_int "Enqueue" 400 ]; [ inv "TryDequeue"; inv "TryDequeue" ] ],
+    true;
+    "ConcurrentStack (Pre)", Conc.Concurrent_stack.pre,
+    Test_matrix.make [ [ inv_int "Push" 1; inv_int "Push" 2 ]; [ inv_int "TryPopRange" 2 ] ],
+    true;
+    (* the seeded set bug needs a non-empty init, which also exercises the
+       spec-advance-over-init path of the dispatch *)
+    "LazyListSet (Pre)", Conc.Lazy_list_set.pre,
+    Test_matrix.make ~init:[ inv_int "Add" 10 ]
+      [ [ inv_int "Remove" 10 ]; [ inv_int "Add" 15; inv_int "Contains" 15 ] ],
+    true;
+    "ConcurrentDictionary (Pre)", Conc.Concurrent_dictionary.pre,
+    Test_matrix.make [ [ inv_int "TryAdd" 10; inv_int "TryAdd" 20; inv "Clear" ]; [ inv "Count" ] ],
+    true;
+    (* blocking classes: the stuck paths of every mode *)
+    "ManualResetEvent (lost signal)", Conc.Manual_reset_event.lost_signal,
+    Test_matrix.make [ [ inv "Wait" ]; [ inv "Set" ] ], true;
+    "SemaphoreSlim", Conc.Semaphore_slim.correct,
+    Test_matrix.make [ [ inv "Wait" ]; [ inv "Release" ] ], false;
+  ]
+
+let run_with membership adapter matrix =
+  Check.run ~config:(Check.config_with ~membership ()) adapter matrix
+
+let e2e_tests =
+  List.map
+    (fun (name, adapter, matrix, expect_fail) ->
+      test (Fmt.str "auto/monitor verdicts match generic: %s" name) (fun () ->
+          let generic = run_with Check.Generic adapter matrix in
+          let auto = run_with Check.Auto adapter matrix in
+          let monitor = run_with Check.Monitor adapter matrix in
+          Alcotest.(check bool) "generic verdict as expected" expect_fail (Check.failed generic);
+          Alcotest.(check bool) "auto = generic (pass)" (Check.passed generic) (Check.passed auto);
+          Alcotest.(check bool) "monitor = generic (pass)" (Check.passed generic) (Check.passed monitor);
+          Alcotest.(check bool) "auto = generic (fail)" (Check.failed generic) (Check.failed auto);
+          Alcotest.(check bool) "monitor = generic (fail)" (Check.failed generic) (Check.failed monitor);
+          let histories r =
+            match r.Check.phase2 with Some p -> p.Check.histories | None -> -1
+          in
+          Alcotest.(check int) "auto sees the same distinct histories" (histories generic)
+            (histories auto);
+          Alcotest.(check int) "monitor sees the same distinct histories" (histories generic)
+            (histories monitor)))
+    e2e_matrix
+
+(* ---------------- the 62-operation boundary ---------------- *)
+
+let oversize_tests =
+  [
+    test "Lin_check: 63 operations is a structured Unsupported" (fun () ->
+        let events =
+          List.concat
+            (List.init 63 (fun i ->
+                 [ call 0 i "Enqueue" ~arg:(Value.int i) (); ret 0 i Value.unit ]))
+        in
+        let h = history events in
+        (match Lin_check.check_outcome Specs.queue h with
+         | `Unsupported _ -> ()
+         | `Linearizable | `Not_linearizable -> Alcotest.fail "expected `Unsupported");
+        (match Lin_check.check_general_outcome Specs.queue h with
+         | `Unsupported _ -> ()
+         | _ -> Alcotest.fail "expected `Unsupported");
+        match Lin_check.check Specs.queue h with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "legacy entry point must still raise");
+    test "pcomp decides a 63-operation history the direct search refuses" (fun () ->
+        (* alternate Add/Remove on two keys: each per-key part is ~32 ops,
+           far under the 62-op direct limit, so the splitter succeeds where
+           the whole-history search cannot even start *)
+        let events =
+          List.concat
+            (List.init 63 (fun i ->
+                 let key = 1 + (i mod 2) in
+                 let name = if i mod 4 < 2 then "Add" else "Remove" in
+                 [ call 0 i name ~arg:(Value.int key) (); ret 0 i (Value.bool true) ]))
+        in
+        let h = history events in
+        (match Lin_check.check_outcome Specs.key_set h with
+         | `Unsupported _ -> ()
+         | _ -> Alcotest.fail "direct search should refuse 63 ops");
+        match Pcomp.check Specs.key_set h with
+        | Monitor.Accept -> ()
+        | Monitor.Reject -> Alcotest.fail "serial alternation is linearizable"
+        | Monitor.Unsupported r -> Alcotest.failf "splitter refused: %s" r);
+  ]
+
+(* ---------------- Minimize: cancelled candidates ---------------- *)
+
+let minimize_tests =
+  [
+    test "reduce skips cancelled candidates (regression)" (fun () ->
+        let adapter = Conc.Semaphore_slim.pre in
+        let matrix =
+          Test_matrix.make [ [ inv "Release" ]; [ inv "Release"; inv "CurrentCount" ] ]
+        in
+        (* learn exactly how many cancellation polls the initial check
+           makes, then hand [reduce] a token that fires just after: the
+           initial check completes (and fails), every candidate check is
+           cancelled at its first boundary *)
+        let polls = ref 0 in
+        let counting () = incr polls; false in
+        let r0 = Check.run ~cancelled:counting adapter matrix in
+        Alcotest.(check bool) "the seed test fails" true (Check.failed r0);
+        let budget = !polls in
+        let n = ref 0 in
+        let token () = incr n; !n > budget in
+        let r = Minimize.reduce ~cancelled:token adapter matrix in
+        (* the fixed descent returns the original failing test; the broken
+           one recursed onto cancelled candidates and bottomed out with a
+           Cancelled (non-failing) result on a test never seen to fail *)
+        Alcotest.(check bool) "result is a seen failure" true (Check.failed r.Minimize.check);
+        Alcotest.(check bool) "more than one check was spent" true (r.Minimize.checks_spent > 1);
+        Alcotest.(check string) "the original test is returned"
+          (Fmt.str "%a" Test_matrix.pp matrix)
+          (Fmt.str "%a" Test_matrix.pp r.Minimize.test));
+    test "reduce returns unreduced on an initially-cancelled check" (fun () ->
+        let adapter = Conc.Semaphore_slim.pre in
+        let matrix =
+          Test_matrix.make [ [ inv "Release" ]; [ inv "Release"; inv "CurrentCount" ] ]
+        in
+        let r = Minimize.reduce ~cancelled:(fun () -> true) adapter matrix in
+        Alcotest.(check bool) "no verdict" true (Check.cancelled r.Minimize.check);
+        Alcotest.(check int) "exactly one check spent" 1 r.Minimize.checks_spent);
+  ]
+
+let tests =
+  monitor_props @ monitor_units @ pcomp_props @ pcomp_harness_tests @ e2e_tests @ oversize_tests
+  @ minimize_tests
