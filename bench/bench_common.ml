@@ -36,12 +36,16 @@ type bench_row = {
   row_executions : int;
   row_executions_reduced : int option;
   row_reduction : float option;
+  row_extras : (string * string) list;
+      (* section-specific fields, values pre-rendered as JSON (schema
+         lineup-bench/2: e.g. the shard lane's workers/speedup/throughput) *)
 }
 
 let json_out : string option ref = ref None
 let bench_rows : bench_row list ref = ref []
 
-let add_row ?executions_reduced ?reduction ~section ~cls ~config ~wall_s ~executions () =
+let add_row ?executions_reduced ?reduction ?(extras = []) ~section ~cls ~config ~wall_s
+    ~executions () =
   bench_rows :=
     {
       row_section = section;
@@ -51,6 +55,7 @@ let add_row ?executions_reduced ?reduction ~section ~cls ~config ~wall_s ~execut
       row_executions = executions;
       row_executions_reduced = executions_reduced;
       row_reduction = reduction;
+      row_extras = extras;
     }
     :: !bench_rows
 
@@ -70,9 +75,10 @@ let write_json ~total_wall_s =
       (match r.row_reduction with
        | Some f -> Printf.bprintf buf ", \"reduction\": %.2f" f
        | None -> ());
+      List.iter (fun (k, v) -> Printf.bprintf buf ", %S: %s" k v) r.row_extras;
       Buffer.add_string buf "}"
     in
-    Buffer.add_string buf "{\n  \"schema\": \"lineup-bench/1\",\n";
+    Buffer.add_string buf "{\n  \"schema\": \"lineup-bench/2\",\n";
     Printf.bprintf buf "  \"total_wall_s\": %.1f,\n" total_wall_s;
     Buffer.add_string buf "  \"results\": [\n";
     List.iteri

@@ -33,7 +33,7 @@ let () =
         "N  run Figure N (1|7|9)" );
       ( "--section",
         Arg.String (select (fun s -> sel.sections <- s :: sel.sections)),
-        "S  run Section S (5.5|5.6|5.7|parallel|por|membership)" );
+        "S  run Section S (5.5|5.6|5.7|parallel|por|membership|shard)" );
       ( "--ablation",
         Arg.String (select (fun s -> sel.ablations <- s :: sel.ablations)),
         "A  run ablation A (pb|sampling|stress|phase1|icb|dedup)" );
@@ -58,7 +58,7 @@ let () =
         "FILE  write the aggregated JSON metrics summary to FILE" );
       ( "--json",
         Arg.String (fun f -> json_out := Some f),
-        "FILE  write machine-readable per-artifact results to FILE (lineup-bench/1)" );
+        "FILE  write machine-readable per-artifact results to FILE (lineup-bench/2)" );
     ]
   in
   Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "lineup benchmarks";
@@ -79,6 +79,7 @@ let () =
   if want_section "parallel" then Parallel_scaling.run opts;
   if want_section "por" then Por_bench.run opts;
   if want_section "membership" then Membership_bench.run opts;
+  if want_section "shard" then Shard_bench.run opts;
   if want_ablation "pb" then Ablations.pb_sweep opts;
   if want_ablation "sampling" then Ablations.sampling opts;
   if want_ablation "stress" then Ablations.systematic_vs_stress opts;

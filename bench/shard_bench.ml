@@ -1,0 +1,146 @@
+(* The --section shard artifact: multi-process scaling of one sharded
+   sweep (`lineup shard-server --local N`).
+
+   Unlike --section parallel (domain fan-out inside one process), this
+   lane measures the process fan-out of lib/shard: the server runs phase 1
+   and the frontier warm-up, then farms partition subtrees to N worker
+   processes over a Unix-domain socket. The workload per run is identical
+   by construction — every N explores the same partition set and the
+   merged report is byte-identical to `check -j` — so wall-clock is the
+   only variable, and speedup is exactly what the extra processes recover
+   (bounded by the host's physical cores; a 1-core container measures
+   ~1.0x plus fork/socket overhead).
+
+   Rows land in the lineup-bench/2 JSON with per-row extras: workers,
+   speedup (vs. --local 1), throughput_ops_s (phase-2 executions per
+   wall-second) and partitions. *)
+
+open Bench_common
+module Monotonic = Lineup_observe.Monotonic
+
+(* bench/main.exe and bin/lineup_cli.exe live in the same _build tree. *)
+let cli_path () =
+  let bench_dir = Filename.dirname Sys.executable_name in
+  let cand =
+    Filename.concat (Filename.dirname bench_dir) (Filename.concat "bin" "lineup_cli.exe")
+  in
+  if Sys.file_exists cand then Some cand else None
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+(* Pull one integer counter out of a --metrics file without a JSON
+   dependency: the registry renders every counter as ["key": N]. *)
+let read_metric ~path key =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let needle = Printf.sprintf "%S:" key in
+  let nlen = String.length needle and clen = String.length content in
+  let rec find i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then
+      let j = ref (i + nlen) in
+      while !j < clen && content.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while !k < clen && content.[!k] >= '0' && content.[!k] <= '9' do incr k done;
+      int_of_string_opt (String.sub content !j (!k - !j))
+    else find (i + 1)
+  in
+  find 0
+
+(* Run the CLI to completion with stdout/stderr discarded (the server's
+   progress chatter would swamp the bench output); wall-clock only. *)
+let time_cli cli args =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0o644 in
+  let t0 = Monotonic.now () in
+  let pid = Unix.create_process cli (Array.of_list (cli :: args)) Unix.stdin null null in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close null;
+  Monotonic.elapsed_since t0, status
+
+(* Two collection classes with 3-thread matrices deep enough that the
+   frontier yields many partitions of real work. *)
+let workloads =
+  [
+    ( "ConcurrentQueue",
+      [ "Enqueue(200),Enqueue(400),TryDequeue"; "TryDequeue,Enqueue(600)"; "TryDequeue" ] );
+    (* distinct pushed values: the stack spec identifies elements by value *)
+    ( "ConcurrentStack",
+      [ "Push(1),Push(2),TryPop"; "TryPop,Push(3)"; "TryPop" ] );
+  ]
+
+let run opts =
+  hr "Shard scaling: multi-process frontier sharding (shard-server --local N)";
+  match cli_path () with
+  | None ->
+    Fmt.pr
+      "SKIPPED: bin/lineup_cli.exe not found next to the bench binary — build it first (dune \
+       build bin/lineup_cli.exe)@."
+  | Some cli ->
+    Fmt.pr
+      "workload: one sharded sweep per class, phase-2 cap %d per partition@.host: %d \
+       recommended domain(s); speedup is bounded by physical cores@.@."
+      opts.cap (Domain.recommended_domain_count ());
+    List.iter
+      (fun (cls, columns) ->
+        Fmt.pr "%s:@." cls;
+        Fmt.pr "%4s %10s %10s %14s %s@." "N" "wall (s)" "speedup" "ops/s" "partitions";
+        Fmt.pr "%s@." (String.make 56 '-');
+        let base = ref None in
+        List.iter
+          (fun n ->
+            let dir = temp_dir "lineup-shard-bench" in
+            let mfile = Filename.temp_file "lineup-shard-bench" ".metrics.json" in
+            Fun.protect
+              ~finally:(fun () ->
+                rm_rf dir;
+                try Sys.remove mfile with Sys_error _ -> ())
+              (fun () ->
+                let args =
+                  [ "shard-server"; cls ] @ columns
+                  @ [
+                      "--dir"; dir; "--local"; string_of_int n;
+                      "--max-executions"; string_of_int opts.cap;
+                      "--metrics"; mfile;
+                    ]
+                in
+                let wall_s, status = time_cli cli args in
+                (match status with
+                 | Unix.WEXITED (0 | 1) -> ()
+                 | _ -> Fmt.pr "  (run with --local %d did not complete cleanly)@." n);
+                let metric k = Option.value ~default:0 (read_metric ~path:mfile k) in
+                let executions = metric "explore.phase2.executions" in
+                let partitions = metric "explore.phase2.partitions" in
+                let b = match !base with None -> base := Some wall_s; wall_s | Some b -> b in
+                let speedup = b /. wall_s in
+                let throughput = float_of_int executions /. wall_s in
+                Fmt.pr "%4d %10.2f %9.2fx %14.0f %10d@." n wall_s speedup throughput
+                  partitions;
+                add_row ~section:"shard" ~cls ~config:(Fmt.str "local=%d" n) ~wall_s
+                  ~executions
+                  ~extras:
+                    [
+                      "workers", string_of_int n;
+                      "speedup", Fmt.str "%.2f" speedup;
+                      "throughput_ops_s", Fmt.str "%.0f" throughput;
+                      "partitions", string_of_int partitions;
+                    ]
+                  ()))
+          [ 1; 2; 4; 8 ];
+        Fmt.pr "@.")
+      workloads

@@ -243,6 +243,46 @@ let compare_cmd_run name columns por membership jobs frontier_depth tso metrics_
     else if Check.cancelled r then `Ok exit_cancelled
     else `Ok exit_violation
 
+(* Multi-process sharding: `shard-server` runs phase 1 and the frontier
+   warm-up locally, fans partitions out to `shard-worker` processes over a
+   socket, checkpoints completed partitions into --dir, and merges in
+   frontier order — the report, verdict, exit code and --metrics file are
+   byte-identical to `check -j` on the same arguments. *)
+let shard_server_cmd_run name columns pb cap classic por membership frontier_depth dir listen
+    local resume halt_after verbose metrics_file trace_file =
+  match find_adapter name with
+  | Error e -> `Error (false, e)
+  | Ok adapter -> (
+    let test = Test_matrix.make (List.map parse_column columns) in
+    let config =
+      let c = config_of ~por ~membership ~pb ~cap ~classic () in
+      { c with Check.phase2_frontier_depth = frontier_depth }
+    in
+    match
+      with_observability ~metrics_file ~trace_file (fun metrics ->
+          Lineup_shard.Server.run ~config ?metrics ?listen ~local ~resume ?halt_after ~dir
+            ~adapter ~test ())
+    with
+    | Lineup_shard.Server.Report r ->
+      if verbose then Fmt.pr "%s@." (Report.check_result_to_string ~adapter ~test r)
+      else Fmt.pr "%s@." (Report.summary r);
+      if Check.passed r then `Ok 0
+      else if Check.cancelled r then `Ok exit_cancelled
+      else `Ok exit_violation
+    | Lineup_shard.Server.Halted _ ->
+      (* Checkpoints are durable but there is no verdict: exit like a
+         cancelled check so a halted sweep can never pass a gate. *)
+      `Ok exit_cancelled
+    | Lineup_shard.Server.Failed_run msg -> `Error (false, msg))
+
+let shard_worker_cmd_run connect =
+  let lookup name =
+    match Conc.Registry.find name with
+    | e -> Some e.Conc.Registry.adapter
+    | exception Not_found -> None
+  in
+  `Ok (Lineup_shard.Worker.run ~connect ~lookup ())
+
 (* Repro: run every registered defect's targeted regression test and
    compare against the expected verdict — the §5.1 regression workflow. *)
 let repro_targets =
@@ -526,6 +566,89 @@ let compare_cmd =
          $ check_jobs_arg $ frontier_depth_arg
          $ tso_arg $ metrics_arg $ trace_arg))
 
+let shard_server_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Run directory: the manifest, the phase-1 and frontier checkpoints and one file \
+             per completed partition land here (see README.md for the layout). A killed \
+             server restarts from it with $(b,--resume).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Socket to accept workers on: a Unix-domain path, or $(i,host:port) for TCP. \
+             Defaults to $(i,DIR)/sock.")
+  in
+  let local_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "local" ] ~docv:"N"
+          ~doc:
+            "Convenience mode: spawn $(docv) $(b,shard-worker) child processes of this \
+             executable connected to the server's socket — a one-machine sweep needs no \
+             second command.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume the sweep recorded in $(b,--dir): phase 1, the frontier and every valid \
+             partition checkpoint are loaded instead of recomputed, and only unfinished \
+             partitions are dispatched. The directory must have been recorded by the exact \
+             same arguments (a configuration fingerprint is verified). The final report and \
+             metrics are byte-identical to an uninterrupted run.")
+  in
+  let halt_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-after" ] ~docv:"K"
+          ~doc:
+            "Stop the server after $(docv) partition checkpoints without merging, exiting \
+             with code 2 — a deterministic stand-in for a kill, used by the CI \
+             kill-and-resume smoke test.")
+  in
+  Cmd.v
+    (Cmd.info "shard-server" ~exits:gate_exits
+       ~doc:
+         "Run one check as a multi-process sweep: phase 1 and the frontier warm-up run \
+          locally, the frontier partitions fan out to $(b,shard-worker) processes, completed \
+          partitions are checkpointed into $(b,--dir), and the results merge in canonical \
+          frontier order. The report, verdict, exit code and $(b,--metrics) file are \
+          byte-identical to $(b,check -j) on the same arguments, for any worker count and \
+          across kill/$(b,--resume) cycles.")
+    Term.(
+      ret
+        (const shard_server_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
+         $ por_arg $ membership_arg $ frontier_depth_arg $ dir_arg $ listen_arg $ local_arg
+         $ resume_arg $ halt_after_arg $ verbose_arg $ metrics_arg $ trace_arg))
+
+let shard_worker_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server socket: a Unix-domain path, or $(i,host:port) for TCP.")
+  in
+  Cmd.v
+    (Cmd.info "shard-worker"
+       ~doc:
+         "Worker process for $(b,shard-server): connects, receives the job context, runs \
+          partition subtrees and ships serialized results back until told to shut down. \
+          Normally spawned by $(b,--local); run it by hand (or on other machines with a TCP \
+          $(b,--listen)) to scale a sweep out.")
+    Term.(ret (const shard_worker_cmd_run $ connect_arg))
+
 let repro_cmd =
   let which =
     Arg.(
@@ -555,6 +678,9 @@ let main =
   Cmd.group
     (Cmd.info "lineup" ~version:"1.0.0" ~man
        ~doc:"A complete and automatic linearizability checker (PLDI 2010 reproduction)")
-    [ list_cmd; check_cmd; random_cmd; auto_cmd; observe_cmd; minimize_cmd; compare_cmd; repro_cmd ]
+    [
+      list_cmd; check_cmd; random_cmd; auto_cmd; observe_cmd; minimize_cmd; compare_cmd;
+      repro_cmd; shard_server_cmd; shard_worker_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

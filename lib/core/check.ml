@@ -408,6 +408,144 @@ let run_pipeline config ~cancelled ~metrics ~analyzers ~adapter ~test =
     ~frontier_depth:config.phase2_frontier_depth ~cancelled ?metrics config.phase2 ~analyzers
     ~adapter ~test ()
 
+(* ------------------------------------------------------------------ *)
+(* Multi-process sharding: serializable phase-2 partitions              *)
+(* ------------------------------------------------------------------ *)
+
+(* One frontier partition's phase-2 result, self-contained and free of
+   closures so it can be marshaled across a process boundary or to a
+   checkpoint file. [pp_state.seen] is emptied before shipping: the dedup
+   table is partition-local working state, and nothing downstream of the
+   merge reads it (matching [p2_merge], which discards it too). *)
+type p2_partition = {
+  pp_index : int;
+  pp_state : p2_state;
+  pp_stats : Explore.stats;
+  pp_done : bool;  (** the Line-Up analyzer reported [`Done] (violation found) *)
+  pp_interrupted : bool;
+}
+
+let partition_index p = p.pp_index
+let partition_stop p = p.pp_done || p.pp_interrupted
+let partition_executions p = p.pp_stats.Explore.executions
+let partition_distinct p = p.pp_state.histories
+
+let split_frontier ?(config = default_config) ?(cancelled = never_cancelled) adapter test =
+  let interrupted = ref false in
+  let frontier =
+    Harness.split_phase config.phase2 ~depth:config.phase2_frontier_depth ~adapter ~test
+      ~on_history:(fun _ ->
+        if cancelled () then begin
+          interrupted := true;
+          `Stop
+        end
+        else `Continue)
+  in
+  (frontier, !interrupted)
+
+(* Exactly the per-partition job of [Pipeline.run_frontier] specialized to
+   the Line-Up analyzer (the only analyzer of a plain [run], so access
+   logging is off): replay [prefix] frozen, enumerate its subtree, step the
+   phase-2 state on each history, stop at the first violation. Running this
+   in another process against the same adapter, test, observation and
+   config produces the same [p2_partition] the in-process [-j] path feeds
+   its merge — that is the sharding determinism contract. *)
+let run_partition ?(config = default_config) ?(cancelled = never_cancelled) ~observation ~index
+    ~prefix adapter test =
+  let st = p2_init () in
+  let done_ = ref false in
+  let interrupted = ref false in
+  let stats =
+    Harness.run_phase_from ~log:false config.phase2 ~prefix ~adapter ~test
+      ~on_history:(fun r ->
+        if cancelled () then begin
+          interrupted := true;
+          `Stop
+        end
+        else
+          match
+            p2_step config ~observation ~spec:adapter.Adapter.spec ~init:test.Test_matrix.init
+              st r
+          with
+          | `Done ->
+            done_ := true;
+            `Stop
+          | `Continue -> `Continue)
+  in
+  {
+    pp_index = index;
+    pp_state = { st with seen = Hashtbl.create 1 };
+    pp_stats = stats;
+    pp_done = !done_;
+    pp_interrupted = !interrupted;
+  }
+
+let ingest_phase1 ?metrics (phase1 : phase_report) =
+  (match metrics with
+   | Some m ->
+     add_explore_stats m ~prefix:"phase1" phase1.stats;
+     Metrics.add m "check.phase1.histories" phase1.histories
+   | None -> ());
+  trace_phase "phase1" phase1
+
+(* Resume-aware frontier-order merge: [partitions] is whatever completed —
+   any order, possibly more than needed (checkpoints past an early
+   violation are ignored, not trusted). The deterministic prefix rule of
+   [Pool.map_seq] is re-applied here: keep partitions up to and including
+   the earliest one that stopped (violation or interruption), which makes
+   the merged verdict, report and metrics a function of the frontier alone
+   — byte-identical to the single-process [-j] run, and independent of
+   completion order, retries, or how many runs it took to gather the
+   checkpoints. *)
+let merge_partitions ?metrics ?(warmup_interrupted = false) ~observation ~phase1
+    ~(frontier : Explore.frontier) partitions =
+  mincr metrics "check.runs";
+  let p2_start = now () in
+  let sorted = List.sort (fun a b -> Int.compare a.pp_index b.pp_index) partitions in
+  let cut =
+    List.fold_left
+      (fun acc p -> if partition_stop p && p.pp_index < acc then p.pp_index else acc)
+      max_int sorted
+  in
+  let kept = if warmup_interrupted then [] else List.filter (fun p -> p.pp_index <= cut) sorted in
+  let st =
+    match kept with
+    | [] -> p2_init ()
+    | p0 :: rest -> List.fold_left (fun acc p -> p2_merge acc p.pp_state) p0.pp_state rest
+  in
+  let stats =
+    List.fold_left (fun acc p -> Explore.merge_stats acc p.pp_stats) frontier.Explore.warmup kept
+  in
+  let interrupted = warmup_interrupted || List.exists (fun p -> p.pp_interrupted) kept in
+  (match metrics with
+   | Some m ->
+     add_explore_stats m ~prefix:"phase2" frontier.Explore.warmup;
+     Metrics.add m "explore.phase2.partitions" (List.length frontier.Explore.prefixes);
+     Metrics.add m "explore.phase2.warmup_executions"
+       frontier.Explore.warmup.Explore.executions;
+     List.iteri
+       (fun i p ->
+         add_explore_stats m ~prefix:"phase2" p.pp_stats;
+         Metrics.add m
+           (Fmt.str "explore.phase2.partition.%03d.executions" i)
+           p.pp_stats.Explore.executions)
+       kept;
+     List.iter (fun (k, v) -> Metrics.add m ("analyze.lineup." ^ k) v) (p2_counters st);
+     add_checker_counters m st
+   | None -> ());
+  let phase2 = { stats; histories = st.histories; time = now () -. p2_start } in
+  trace_phase "phase2" phase2;
+  let verdict =
+    match st.found with
+    | Some v -> Fail v
+    | None -> if interrupted then Cancelled else Pass
+  in
+  (match verdict with
+   | Pass -> mincr metrics "check.passes"
+   | Fail _ -> mincr metrics "check.violations"
+   | Cancelled -> mincr metrics "check.cancelled");
+  { verdict; observation; phase1; phase2 = Some phase2; analyses = [] }
+
 let run ?(config = default_config) ?(cancelled = never_cancelled) ?metrics ?observation
     ?(analyzers = []) adapter test =
   mincr metrics "check.runs";

@@ -206,3 +206,75 @@ val run :
   Adapter.t ->
   Test_matrix.t ->
   result
+
+(** {1 Multi-process sharding}
+
+    The building blocks of [lineup shard-server]/[shard-worker]
+    (lib/shard): phase 2 split into self-contained partition jobs whose
+    results are pure data — marshalable across a process boundary or to a
+    checkpoint file — and a resume-aware merge that reproduces the
+    in-process frontier path ({!run} with [phase2_domains = Some j])
+    byte-for-byte: same verdict, same report, same metrics registry, for
+    any assignment of partitions to workers, any completion order, and any
+    number of crash/resume cycles. *)
+
+(** One frontier partition's completed phase-2 result. Contains no
+    closures, channels or adapter state: safe to [Marshal]. *)
+type p2_partition
+
+val partition_index : p2_partition -> int
+val partition_stop : p2_partition -> bool
+(** the partition stopped the sweep: violation found or interrupted *)
+
+val partition_executions : p2_partition -> int
+val partition_distinct : p2_partition -> int
+(** distinct histories checked within the partition (pre-merge) *)
+
+(** [split_frontier ?config ?cancelled adapter test] runs the phase-2
+    frontier warm-up exactly as the in-process frontier path does (depth
+    [config.phase2_frontier_depth], analyzers not stepped) and returns the
+    frontier plus whether the warm-up was interrupted. *)
+val split_frontier :
+  ?config:config ->
+  ?cancelled:(unit -> bool) ->
+  Adapter.t ->
+  Test_matrix.t ->
+  Lineup_scheduler.Explore.frontier * bool
+
+(** [run_partition ?config ?cancelled ~observation ~index ~prefix adapter
+    test] explores one partition subtree — the per-partition job of the
+    in-process frontier path specialized to the Line-Up analyzer — and
+    returns its serializable result. Deterministic given ([config],
+    [observation], [test], [prefix]): a worker process computing this
+    remotely produces the same value as the local domain would. *)
+val run_partition :
+  ?config:config ->
+  ?cancelled:(unit -> bool) ->
+  observation:Observation.t ->
+  index:int ->
+  prefix:Lineup_scheduler.Explore.prefix ->
+  Adapter.t ->
+  Test_matrix.t ->
+  p2_partition
+
+(** [ingest_phase1 ?metrics phase1] re-emits the phase-1 counters of a
+    checkpointed {!phase_report} into [metrics] exactly as {!synthesize}
+    would have — used by [--resume] so the final registry is byte-identical
+    to an uninterrupted run. *)
+val ingest_phase1 : ?metrics:Lineup_observe.Metrics.t -> phase_report -> unit
+
+(** [merge_partitions ?config ?metrics ?warmup_interrupted ~observation
+    ~phase1 ~frontier partitions] merges completed partitions in canonical
+    frontier order into a {!result}, re-applying the deterministic prefix
+    rule of the in-process pool (partitions past the earliest stopping one
+    are ignored even if checkpointed). Emits the same metric keys and
+    values as {!run} on the frontier path. [partitions] may arrive in any
+    order; duplicates must not be passed. *)
+val merge_partitions :
+  ?metrics:Lineup_observe.Metrics.t ->
+  ?warmup_interrupted:bool ->
+  observation:Observation.t ->
+  phase1:phase_report ->
+  frontier:Lineup_scheduler.Explore.frontier ->
+  p2_partition list ->
+  result

@@ -18,8 +18,18 @@ let close () =
     Mutex.lock s.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) (fun () -> close_out s.oc)
 
+(* Registered once, lazily: abnormal-but-orderly exits (uncaught exception,
+   [exit] from a worker process) flush and close the sink even when the
+   [with_trace] wrapper is not on the stack. [close] is idempotent, so the
+   hook composes with an explicit close. *)
+let exit_hook_installed = ref false
+
 let enable ~path =
   close ();
+  if not !exit_hook_installed then begin
+    exit_hook_installed := true;
+    at_exit close
+  end;
   let oc = open_out path in
   Atomic.set state (Some { oc; mutex = Mutex.create (); t0 = Monotonic.now () })
 
@@ -50,7 +60,13 @@ let emit ev fields =
         (* The sink may have been closed (or replaced) between the load and
            the lock; dropping the event is the documented behavior. *)
         match Atomic.get state with
-        | Some s' when s' == s -> output_string s.oc (Buffer.contents buf)
+        | Some s' when s' == s ->
+          output_string s.oc (Buffer.contents buf);
+          (* Flush per event: the stream is a crash-forensics channel, so a
+             killed process must leave every completed event on disk as a
+             complete, parseable line — only the event being written at the
+             instant of the kill may be lost. *)
+          flush s.oc
         | Some _ | None -> ())
 
 let with_trace ~path f =

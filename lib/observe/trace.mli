@@ -29,15 +29,20 @@ val enabled : unit -> bool
 
 val enable : path:string -> unit
 (** Open (truncate) [path] and start the clock. Replaces any previous
-    sink (closing it). *)
+    sink (closing it). The first call installs an [at_exit] hook that
+    closes the sink, so orderly-but-abnormal exits (uncaught exception,
+    [exit] from a worker process) never lose buffered events. *)
 
 val close : unit -> unit
-(** Flush and close the sink; subsequent {!emit}s are no-ops. Call only
-    after worker domains have been joined — an emit racing a close may be
-    dropped. *)
+(** Flush and close the sink; subsequent {!emit}s are no-ops. Idempotent.
+    Call only after worker domains have been joined — an emit racing a
+    close may be dropped. *)
 
 val emit : string -> (string * field) list -> unit
-(** [emit ev fields] — append one event line; no-op when disabled. *)
+(** [emit ev fields] — append one event line; no-op when disabled. The
+    line is flushed before [emit] returns: a process killed mid-run
+    leaves a trace file that parses line-by-line, missing at most the
+    event being written at the instant of the kill. *)
 
 val with_trace : path:string option -> (unit -> 'a) -> 'a
 (** [with_trace ~path f] runs [f] with tracing enabled when [path] is

@@ -133,14 +133,22 @@ let worker st ~stop ~f () =
         let t0 = Lineup_observe.Monotonic.now () in
         match f ~cancelled:(fun () -> Atomic.get st.stop_at < i) x with
         | r ->
-          results := (i, Ok r) :: !results;
+          (* A raising [stop] is contained like a raising job: recorded as
+             this index's error, stopping the sweep, re-raised after every
+             worker is joined. It must never escape the worker body — a
+             dead worker strands queued jobs, and with all workers dead the
+             feeder would block on [not_full] forever. *)
+          let stopping = match stop r with s -> Ok s | exception e -> Error e in
+          results :=
+            (i, match stopping with Ok _ -> Ok r | Error e -> Error e) :: !results;
           trace_job_done ~index:i
             ~kept:(Atomic.get st.stop_at >= i)
             ~dt:(Lineup_observe.Monotonic.elapsed_since t0);
-          if stop r then begin
-            lower_stop_at st i;
-            trace_stop ~index:i
-          end
+          (match stopping with
+           | Ok false -> ()
+           | Ok true | Error _ ->
+             lower_stop_at st i;
+             trace_stop ~index:i)
         | exception e ->
           results := (i, Error e) :: !results;
           trace_job_done ~index:i ~kept:true ~dt:(Lineup_observe.Monotonic.elapsed_since t0);
@@ -166,13 +174,38 @@ let map_parallel ~domains ~depth ~stop ~f jobs =
     }
   in
   let workers = List.init domains (fun _ -> Domain.spawn (worker st ~stop ~f)) in
-  feed st jobs;
-  let all = List.concat_map Domain.join workers in
+  (* Every exception path must still close the queue and join every worker:
+     an unjoined domain is leaked for the process lifetime, and a worker
+     left blocked on [not_empty] after a feeder exception would never
+     terminate at all. *)
+  let feeder_error =
+    match feed st jobs with
+    | () -> None
+    | exception e ->
+      Mutex.lock st.mutex;
+      st.closed <- true;
+      Condition.broadcast st.not_empty;
+      Mutex.unlock st.mutex;
+      Some e
+  in
+  (* [f] exceptions come back as [Error] results; what [Domain.join] can
+     re-raise is an escape from [stop] or a trace hook. Join everything
+     before letting any of it propagate. *)
+  let joined =
+    List.map (fun d -> match Domain.join d with rs -> Ok rs | exception e -> Error e) workers
+  in
+  (match List.find_opt Result.is_error joined with
+   | Some (Error e) -> raise e
+   | Some (Ok _) | None -> ());
+  let all = List.concat_map Result.get_ok joined in
   let cut = Atomic.get st.stop_at in
-  List.sort (fun (i, _) (j, _) -> Int.compare i j) all
-  |> List.filter_map (fun (i, r) ->
-         if i > cut then None
-         else match r with Ok v -> Some v | Error e -> raise e)
+  let results =
+    List.sort (fun (i, _) (j, _) -> Int.compare i j) all
+    |> List.filter_map (fun (i, r) ->
+           if i > cut then None
+           else match r with Ok v -> Some v | Error e -> raise e)
+  in
+  match feeder_error with Some e -> raise e | None -> results
 
 let map_seq ?(domains = 1) ?queue_depth ?(stop = fun _ -> false) ~f jobs =
   if domains <= 1 then map_sequential ~stop ~f jobs

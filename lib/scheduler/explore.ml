@@ -843,6 +843,55 @@ type frontier = {
   warmup : stats;
 }
 
+(* Textual transport encoding of a decision prefix, for handing partitions
+   to other processes and for on-disk checkpoints: choices are ';'-joined
+   tokens, [sN] for a thread choice and [vC/A] for a value choice of arity
+   [A]. The format is total on its image and rejects anything else, so a
+   corrupted or foreign checkpoint surfaces as [Error] rather than as a
+   bogus replay. *)
+let prefix_to_string p =
+  String.concat ";"
+    (List.map
+       (function
+         | Sched_choice t -> Printf.sprintf "s%d" t
+         | Value_choice { chosen; arity } -> Printf.sprintf "v%d/%d" chosen arity)
+       p)
+
+let prefix_of_string s =
+  let choice_of_token tok =
+    let num sub =
+      match int_of_string_opt sub with
+      | Some n when n >= 0 -> Ok n
+      | Some _ | None -> Error (Printf.sprintf "Explore.prefix_of_string: bad number %S" sub)
+    in
+    if tok = "" then Error "Explore.prefix_of_string: empty token"
+    else
+      match tok.[0], String.index_opt tok '/' with
+      | 's', None -> (
+        match num (String.sub tok 1 (String.length tok - 1)) with
+        | Ok t -> Ok (Sched_choice t)
+        | Error _ as e -> e)
+      | 'v', Some slash -> (
+        match
+          ( num (String.sub tok 1 (slash - 1)),
+            num (String.sub tok (slash + 1) (String.length tok - slash - 1)) )
+        with
+        | Ok chosen, Ok arity when chosen < arity -> Ok (Value_choice { chosen; arity })
+        | Ok _, Ok _ -> Error (Printf.sprintf "Explore.prefix_of_string: chosen >= arity in %S" tok)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      | _ -> Error (Printf.sprintf "Explore.prefix_of_string: unrecognized token %S" tok)
+  in
+  if s = "" then Ok []
+  else
+    List.fold_right
+      (fun tok acc ->
+        match acc with
+        | Error _ as e -> e
+        | Ok rest -> (
+          match choice_of_token tok with Ok c -> Ok (c :: rest) | Error _ as e -> e))
+      (String.split_on_char ';' s)
+      (Ok [])
+
 let freeze_decisions ds =
   List.map
     (function

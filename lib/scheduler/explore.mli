@@ -189,6 +189,17 @@ type choice =
     another domain, or to serialize. *)
 type prefix = choice list
 
+val prefix_to_string : prefix -> string
+(** Compact textual transport encoding of a prefix (choices ';'-joined,
+    [sN] thread / [vC/A] value tokens) — used to serialize frontier
+    partitions for other processes and for on-disk checkpoints. Injective,
+    and [""] encodes the empty prefix. *)
+
+val prefix_of_string : string -> (prefix, string) result
+(** Total inverse of {!prefix_to_string} on its image; anything else —
+    corrupted checkpoints, foreign files — is rejected with a message
+    rather than replayed. *)
+
 type frontier = {
   prefixes : prefix list;
       (** the partitions, in canonical DFS order — concatenating each

@@ -1,0 +1,90 @@
+let wire_version = 1
+
+(* Backstop against a corrupted or misaligned length prefix: no legitimate
+   message (the largest is [Init] with an observation file) approaches this. *)
+let max_payload = 1 lsl 28
+
+type init = {
+  i_fingerprint : string;
+  i_config : Lineup.Check.config;
+  i_adapter : string;
+  i_test : Lineup.Test_matrix.t;
+  i_observation : string;
+}
+
+type to_server =
+  | Hello of { wire : int }
+  | Result of { index : int; part : Lineup.Check.p2_partition }
+  | Failed of { index : int; message : string }
+
+type to_worker =
+  | Init of init
+  | Task of { index : int; prefix : string }
+  | Shutdown
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n = Unix.write fd buf ofs len in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+(* [Some buf] or [None] on EOF before [len] bytes arrived. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go ofs =
+    if ofs >= len then Some buf
+    else
+      match Unix.read fd buf ofs (len - ofs) with
+      | 0 -> None
+      | n -> go (ofs + n)
+  in
+  go 0
+
+let send fd msg =
+  let payload = Marshal.to_bytes msg [] in
+  let len = Bytes.length payload in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  write_all fd header 0 4;
+  write_all fd payload 0 len
+
+let recv fd =
+  match read_exact fd 4 with
+  | None -> None
+  | Some header -> (
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 || len > max_payload then None
+    else
+      match read_exact fd len with
+      | None -> None
+      | Some payload -> (
+        try Some (Marshal.from_bytes payload 0)
+        with Failure _ | Invalid_argument _ -> None))
+
+let send_to_server fd (msg : to_server) = send fd msg
+let send_to_worker fd (msg : to_worker) = send fd msg
+
+let recv_to_server fd : to_server option =
+  try recv fd with Unix.Unix_error _ -> None
+
+let recv_to_worker fd : to_worker option =
+  try recv fd with Unix.Unix_error _ -> None
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | None -> invalid_arg (Fmt.str "bad TCP address %S (port is not a number)" s)
+     | Some port ->
+       let addr =
+         if host = "" || host = "localhost" then Unix.inet_addr_loopback
+         else
+           try Unix.inet_addr_of_string host
+           with Failure _ -> (
+             try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+             with Not_found -> invalid_arg (Fmt.str "cannot resolve host %S" host))
+       in
+       Unix.ADDR_INET (addr, port))
+  | None -> Unix.ADDR_UNIX s

@@ -1,0 +1,15 @@
+(** The shard worker: connects to a {!Server}, receives the job context
+    ({!Wire.init}), then loops running partition tasks with
+    {!Lineup.Check.run_partition} and shipping the serializable results
+    back. Stateless beyond the [Init] message — a worker can die at any
+    point and the server re-dispatches its partition.
+
+    All diagnostics go to stderr; stdout is never written (the server's
+    stdout is the comparable report). *)
+
+(** [run ~connect ~lookup ()] returns the process exit code: 0 on a clean
+    shutdown (including the server going away mid-sweep — the work is
+    re-dispatched, not lost), 3 on a setup error (unknown adapter, task
+    before init, unreachable server). [lookup] resolves an adapter
+    registry name; the catalog lives with the CLI, not this library. *)
+val run : connect:string -> lookup:(string -> Lineup.Adapter.t option) -> unit -> int

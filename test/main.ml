@@ -26,4 +26,5 @@ let () =
       "tso", Test_tso.tests;
       "cross-validation", Test_crossval.tests;
       "membership", Test_membership.tests;
+      "shard", Test_shard.tests;
     ]

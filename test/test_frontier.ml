@@ -131,6 +131,51 @@ let history_union_prop =
            (fun depth -> harness_frontier_histories config ~depth ~adapter ~test = seq)
            [ 2; 4 ]))
 
+(* ---- partition transport: serialize . deserialize is the identity on
+   exploration results, not just on the prefix value ---- *)
+
+let roundtrip_prefix prefix =
+  match Explore.prefix_of_string (Explore.prefix_to_string prefix) with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "prefix round-trip rejected its own encoding: %s" msg
+
+let partition_histories config ~prefix ~adapter ~test =
+  let acc = ref [] in
+  let _ =
+    Harness.run_phase_from config ~prefix ~adapter ~test ~on_history:(fun r ->
+        acc := (History.events r.history, History.is_stuck r.history) :: !acc;
+        `Continue)
+  in
+  List.rev !acc
+
+let prefix_roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:
+         "random tests: deserialized frontier partitions explore byte-identical history \
+          sequences"
+       ~count:20
+       (QCheck.make
+          (QCheck.Gen.map
+             (fun seed ->
+               let rng = Random.State.make [| seed; 23 |] in
+               Test_matrix.random ~rng
+                 ~invocations:Conc.Concurrent_queue.correct.Adapter.universe ~rows:2 ~cols:2 ())
+             QCheck.Gen.small_signed_int))
+       (fun test ->
+         let adapter = Conc.Concurrent_queue.correct in
+         let config = Explore.default_config in
+         let frontier =
+           Harness.split_phase config ~depth:3 ~adapter ~test ~on_history:(fun _ -> `Continue)
+         in
+         List.for_all
+           (fun prefix ->
+             let revived = roundtrip_prefix prefix in
+             revived = prefix
+             && partition_histories config ~prefix:revived ~adapter ~test
+                = partition_histories config ~prefix ~adapter ~test)
+           frontier.Explore.prefixes))
+
 (* ---- Check-level determinism and the Cancelled verdict ---- *)
 
 let stable_result ~adapter ~test r m =
@@ -166,6 +211,14 @@ let suite =
                  ~setup:(accesses_program ~threads:2 ~accesses:1)
                  ~on_execution:(fun _ -> `Continue))));
     history_union_prop;
+    prefix_roundtrip_prop;
+    test "prefix_of_string rejects malformed encodings" (fun () ->
+        List.iter
+          (fun s ->
+            match Explore.prefix_of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted malformed prefix %S" s)
+          [ "x1"; "s"; "s-1"; "v1"; "v2/2"; "v1/"; "s1;;s2"; "s1,s2" ]);
     test "check -j: verdict, report and metrics identical for j=1 and j=4" (fun () ->
         let adapter = Conc.Manual_reset_event.lost_signal in
         let test = Test_matrix.make [ [ inv "Wait" ]; [ inv "Set" ] ] in

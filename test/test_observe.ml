@@ -136,6 +136,34 @@ let suite =
     test "trace: emit outside with_trace is a no-op" (fun () ->
         Trace.emit "never.seen" [ "n", Trace.Int 1 ];
         Alcotest.(check bool) "disabled" false (Trace.enabled ()));
+    test "trace: killed-mid-run file parses line-by-line (per-event flush)" (fun () ->
+        (* The crash-durability guarantee: every emitted event is a complete
+           line on disk the moment [emit] returns — a SIGKILL at any point
+           loses at most the event being written. Simulated by reading the
+           file while the sink is still open: what a concurrent reader sees
+           is exactly what a post-kill reader would see. *)
+        with_temp_file (fun path ->
+            Trace.enable ~path;
+            Fun.protect ~finally:Trace.close (fun () ->
+                for i = 1 to 50 do
+                  Trace.emit "kill.test" [ "i", Trace.Int i ]
+                done;
+                let ic = open_in path in
+                let lines = ref [] in
+                (try
+                   while true do
+                     lines := input_line ic :: !lines
+                   done
+                 with End_of_file -> close_in ic);
+                Alcotest.(check int) "all 50 events on disk before close" 50
+                  (List.length !lines);
+                List.iter
+                  (fun line ->
+                    Alcotest.(check bool) "complete object line" true
+                      (String.length line > 2
+                       && String.sub line 0 5 = "{\"t\":"
+                       && line.[String.length line - 1] = '}'))
+                  !lines)));
   ]
 
 let tests = suite

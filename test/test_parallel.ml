@@ -70,6 +70,40 @@ let pool_suite =
             | exception Failure msg ->
               Alcotest.(check string) (Fmt.str "domains=%d" domains) "boom" msg)
           [ 1; 4 ]);
+    test "map_seq joins every worker when stop raises" (fun () ->
+        (* A raising [stop] escapes the worker body and resurfaces at
+           [Domain.join]. The pool must join ALL workers before letting it
+           propagate: after map_seq raises, no worker may still be running
+           jobs — otherwise the domains (and their in-flight effects) leak
+           past the call. *)
+        let ran = Atomic.make 0 in
+        let f ~cancelled:_ x =
+          Atomic.incr ran;
+          x
+        in
+        (match
+           Pool.map_seq ~domains:4 ~queue_depth:2
+             ~stop:(fun _ -> raise Exit)
+             ~f
+             (List.to_seq (List.init 200 Fun.id))
+         with
+         | _ -> Alcotest.fail "expected Exit"
+         | exception Exit -> ());
+        let quiescent = Atomic.get ran in
+        Unix.sleepf 0.05;
+        Alcotest.(check int) "no worker ran a job after map_seq returned" quiescent
+          (Atomic.get ran));
+    test "map_seq joins every worker when the job sequence raises" (fun () ->
+        (* A lazy job sequence can raise from the feeder (the calling
+           domain). Workers blocked on the queue must still be woken,
+           drained and joined — the old behavior was a permanent hang —
+           and the feeder's exception must propagate. *)
+        let jobs =
+          Seq.append (Seq.init 5 Fun.id) (fun () -> failwith "seq-boom")
+        in
+        match Pool.map_seq ~domains:4 ~f:(fun ~cancelled:_ x -> x) jobs with
+        | _ -> Alcotest.fail "expected the feeder exception"
+        | exception Failure msg -> Alcotest.(check string) "feeder exception" "seq-boom" msg);
     test "cancelled token is never set for results that are kept" (fun () ->
         (* Jobs record whether they ever observed cancellation; kept results
            must all say no — that is what makes the output deterministic. *)
