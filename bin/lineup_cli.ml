@@ -7,7 +7,8 @@
      auto      — AutoCheck: systematic enumeration with a test budget
      observe   — run phase 1 only and emit the observation file (Fig. 7)
      minimize  — shrink a failing test to a local minimum
-     compare   — §5.6 comparison checkers + Line-Up over one shared exploration *)
+     compare   — §5.6 comparison checkers + Line-Up over one shared exploration
+     monitor   — decide linearizability of a live NDJSON event stream online *)
 
 module H = Lineup_history
 module Value = Lineup_value.Value
@@ -661,6 +662,199 @@ let repro_cmd =
        ~doc:"Reproduce the registered root causes on their minimal regression tests (§5.1)")
     Term.(ret (const repro_cmd_run $ which))
 
+(* ---------------- monitor ---------------- *)
+
+(* Streaming monitor exit contract: 0/1 mirror the check gate; 3 means the
+   stream left the monitored fragment (off-vocabulary operation, no
+   quiescent point, malformed line) — no verdict either way, and distinct
+   from 2 so "cancelled" and "unsupported" stay distinguishable in CI. *)
+let exit_unsupported = 3
+
+let monitor_exits =
+  Cmd.Exit.info 0 ~doc:"if the stream ended (or was replayed) without a violation."
+  :: Cmd.Exit.info exit_violation
+       ~doc:"if the stream is not linearizable — trustworthy even under $(b,--on-full shed)."
+  :: Cmd.Exit.info exit_unsupported
+       ~doc:
+         "if the stream left the monitored fragment (unsupported operation, malformed line, \
+          no quiescent point within the window bound): no verdict either way."
+  :: List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+
+let verdict_name = function
+  | Lineup_spec.Monitor.Accept -> "OK"
+  | Lineup_spec.Monitor.Reject -> "VIOLATION"
+  | Lineup_spec.Monitor.Unsupported reason -> "UNSUPPORTED: " ^ reason
+
+let monitor_cmd_run spec_name file replay jobs min_batch max_window queue_cap on_full
+    report_every metrics_file trace_file =
+  match Lineup_spec.Specs.find spec_name with
+  | None ->
+    `Error
+      ( false,
+        Fmt.str "unknown specification %S (expected one of: %s)" spec_name
+          (String.concat ", " Lineup_spec.Specs.names) )
+  | Some spec -> (
+    let opts =
+      {
+        Lineup_monitor.Driver.domains = jobs;
+        min_batch;
+        max_window;
+        queue_cap;
+        on_full;
+        report_every;
+      }
+    in
+    let run_on ic =
+      with_observability ~metrics_file ~trace_file (fun metrics ->
+          if replay then begin
+            let per_hist, outcome =
+              Lineup_monitor.Driver.replay ~spec ~opts ?metrics ic
+            in
+            let bad =
+              List.filter_map
+                (fun (h, v) ->
+                  match v with Lineup_spec.Monitor.Accept -> None | _ -> Some (h, v))
+                per_hist
+            in
+            Fmt.pr "monitor: replayed %d histories, %d ops — %s@."
+              (List.length per_hist) outcome.Lineup_monitor.Driver.ops
+              (verdict_name outcome.Lineup_monitor.Driver.verdict);
+            List.iteri
+              (fun i (h, v) ->
+                if i < 5 then
+                  Fmt.pr "  history %s: %s@."
+                    (match h with Some h -> string_of_int h | None -> "untagged")
+                    (verdict_name v))
+              bad;
+            if List.length bad > 5 then
+              Fmt.pr "  ... and %d more non-accepting histories@." (List.length bad - 5);
+            outcome
+          end
+          else begin
+            let outcome = Lineup_monitor.Driver.run ~spec ~opts ?metrics ic in
+            Fmt.pr "monitor: %d ops, %d windows, %d shards, resident peak %d — %s@."
+              outcome.Lineup_monitor.Driver.ops outcome.Lineup_monitor.Driver.windows
+              outcome.Lineup_monitor.Driver.shards
+              outcome.Lineup_monitor.Driver.resident_peak
+              (verdict_name outcome.Lineup_monitor.Driver.verdict);
+            if outcome.Lineup_monitor.Driver.sheds > 0 then
+              Fmt.pr "monitor: %d ops shed under load — Accept is incomplete@."
+                outcome.Lineup_monitor.Driver.sheds;
+            outcome
+          end)
+    in
+    match
+      if file = "-" then run_on stdin
+      else
+        let ic = open_in file in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> run_on ic)
+    with
+    | exception Sys_error e -> `Error (false, e)
+    | outcome -> (
+      match outcome.Lineup_monitor.Driver.verdict with
+      | Lineup_spec.Monitor.Accept -> `Ok 0
+      | Lineup_spec.Monitor.Reject -> `Ok exit_violation
+      | Lineup_spec.Monitor.Unsupported _ -> `Ok exit_unsupported))
+
+let monitor_cmd =
+  let spec_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            (Fmt.str "Specification to monitor against: one of %s."
+               (String.concat ", " Lineup_spec.Specs.names)))
+  in
+  let file_pos =
+    Arg.(
+      value
+      & pos 1 string "-"
+      & info [] ~docv:"FILE"
+          ~doc:
+            "NDJSON event stream: a file, a FIFO, or $(b,-) for stdin (the default). One \
+             call/return event per line in the $(b,--trace) schema; other event kinds are \
+             skipped, so a raw $(b,lineup check --trace) file is valid input.")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Treat the stream as a finite recording of complete histories: group events by \
+             their $(b,hist) tag and monitor each group as an independent session (fanned out \
+             over $(b,-j) domains). The exit code agrees with the offline checker on the same \
+             histories — the CI equivalence gate.")
+  in
+  let monitor_jobs_arg =
+    Arg.(
+      value
+      & opt domain_count 1
+      & info [ "j"; "jobs"; "domains" ] ~docv:"N"
+          ~doc:
+            "Shard keyed streams (set, dictionary) per key across $(docv) domains; with \
+             $(b,--replay), check $(docv) histories concurrently. Verdicts and exit codes are \
+             identical for every value.")
+  in
+  let min_batch_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "min-batch" ] ~docv:"N"
+          ~doc:
+            "Run a window check at the first quiescent point after $(docv) completed \
+             operations, then garbage-collect the decided prefix. Smaller values detect \
+             violations sooner; larger values amortize better.")
+  in
+  let max_window_arg =
+    Arg.(
+      value
+      & opt int 1_048_576
+      & info [ "max-window" ] ~docv:"N"
+          ~doc:
+            "Give up (exit 3) if no quiescent point occurs within $(docv) operations — the \
+             bound on retained state for adversarial streams.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "queue" ] ~docv:"N" ~doc:"Ingest queue capacity, in events.")
+  in
+  let on_full_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ "block", Lineup_monitor.Ingest.Block; "shed", Lineup_monitor.Ingest.Shed ])
+          Lineup_monitor.Ingest.Block
+      & info [ "on-full" ] ~docv:"POLICY"
+          ~doc:
+            "Backpressure policy at a full ingest queue: $(b,block) (default) is lossless and \
+             stalls the producer; $(b,shed) drops whole operations and degrades the monitor \
+             accept-lean — a VIOLATION verdict stays trustworthy, a clean exit no longer \
+             guarantees linearizability of the dropped portion.")
+  in
+  let report_every_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "report-every" ] ~docv:"N"
+          ~doc:
+            "Emit a progress line on stderr (and a $(b,monitor.tick) trace event) every \
+             $(docv) events. 0 (default) disables.")
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~exits:monitor_exits
+       ~doc:
+         "Monitor linearizability of a live NDJSON call/return event stream online \
+          (decrease-and-conquer engines for queue/stack, chunked feasible-state checking for \
+          the rest), with windowed GC keeping memory bounded over unbounded streams")
+    Term.(
+      ret
+        (const monitor_cmd_run $ spec_pos $ file_pos $ replay_arg $ monitor_jobs_arg
+       $ min_batch_arg $ max_window_arg $ queue_cap_arg $ on_full_arg $ report_every_arg
+       $ metrics_arg $ trace_arg))
+
 let main =
   let man =
     [
@@ -670,9 +864,10 @@ let main =
          check completed and found no violation, and with 1 when a linearizability violation or \
          nondeterministic behavior was reported — so any of them can gate a CI pipeline \
          directly. A check that was cancelled before completing exits with 2: it carries no \
-         verdict and must not pass a gate. Usage errors use cmdliner's standard codes (124 \
-         command-line error, 125 internal error). The $(b,-j) flag never changes results or \
-         exit codes, only wall-clock time.";
+         verdict and must not pass a gate. $(b,monitor) adds 3: the stream left the monitored \
+         fragment, so there is no verdict either way. Usage errors use cmdliner's standard \
+         codes (124 command-line error, 125 internal error). The $(b,-j) flag never changes \
+         results or exit codes, only wall-clock time.";
     ]
   in
   Cmd.group
@@ -680,7 +875,7 @@ let main =
        ~doc:"A complete and automatic linearizability checker (PLDI 2010 reproduction)")
     [
       list_cmd; check_cmd; random_cmd; auto_cmd; observe_cmd; minimize_cmd; compare_cmd;
-      repro_cmd; shard_server_cmd; shard_worker_cmd;
+      repro_cmd; shard_server_cmd; shard_worker_cmd; monitor_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -261,6 +261,11 @@ let history_fingerprint h =
    near-linear class checks and falls back to the generic observation
    search; [Monitor] additionally forces the direct Wing–Gong search (and
    the Definition-2 stuck check) before falling back. *)
+(* Distinct-history ids for the event trace, unique across worker domains.
+   The trace stream is documented non-deterministic, so ids need not be
+   dense or ordered — only distinct, to keep replayed histories apart. *)
+let trace_hist_counter = Atomic.make 0
+
 let p2_step config ~observation ~spec ~init st (r : Harness.run_result) =
   match exception_of r.outcome with
   | Some v ->
@@ -275,6 +280,21 @@ let p2_step config ~observation ~spec ~init st (r : Harness.run_result) =
     Hashtbl.replace st.seen (History.events r.history, History.is_stuck r.history) ();
     st.histories <- st.histories + 1;
     st.fp_acc <- (st.fp_acc + history_fingerprint r.history) land fp_mask;
+    (* Emit each distinct complete history's events before deciding it, so
+       a rejecting history is always in the trace and [lineup monitor
+       --replay] on the trace file reproduces the verdict (the CI
+       monitor-equivalence gate). Stuck histories are skipped: replay
+       covers the complete-history fragment. *)
+    if
+      Trace.enabled ()
+      && (not (History.is_stuck r.history))
+      && History.is_complete r.history
+    then begin
+      let id = Atomic.fetch_and_add trace_hist_counter 1 in
+      List.iter
+        (fun ev -> Lineup_monitor.Mevent.emit_trace ~hist:id ev)
+        (History.events r.history)
+    end;
     let h = r.history in
     let generic_stuck () =
       st.stuck_checks <- st.stuck_checks + 1;

@@ -1,0 +1,274 @@
+module Spec = Lineup_spec.Spec
+module Monitor = Lineup_spec.Monitor
+module Event = Lineup_history.Event
+module Invocation = Lineup_history.Invocation
+module Value = Lineup_value.Value
+module Pool = Lineup_parallel.Pool
+module Metrics = Lineup_observe.Metrics
+module Trace = Lineup_observe.Trace
+
+(* The streaming driver: one reader domain parses NDJSON lines into a
+   bounded {!Ingest} queue; the calling domain pops batches and feeds them
+   to the engines in bulk-synchronous rounds. For keyed classes (set,
+   dictionary) the stream shards per key across [domains] engines — by
+   P-compositionality the keys are independent objects, so each shard
+   monitors its own keys in isolation and a round's worth of shard feeding
+   fans out through {!Pool.map_seq}. The per-round join publishes every
+   engine's mutable state back to the calling domain before verdicts are
+   read, so no engine state is ever accessed from two domains at once. *)
+
+type opts = {
+  domains : int;
+  min_batch : int;
+  max_window : int;
+  queue_cap : int;
+  on_full : Ingest.policy;
+  report_every : int;
+}
+
+let default_opts =
+  {
+    domains = 1;
+    min_batch = 512;
+    max_window = 1_048_576;
+    queue_cap = 65536;
+    on_full = Ingest.Block;
+    report_every = 0;
+  }
+
+type outcome = {
+  verdict : Monitor.verdict;
+  ops : int;
+  sheds : int;
+  windows : int;
+  resident_peak : int;
+  shards : int;
+}
+
+let keyed_cls (Spec.Packed s) =
+  match s.Spec.cls with
+  | Spec.Set | Spec.Dictionary -> true
+  | Spec.Queue | Spec.Stack | Spec.Counter | Spec.Other -> false
+
+(* Reject from any shard dominates (a violation on one key is a violation
+   of the stream); otherwise the lowest-index Unsupported; otherwise
+   Accept. Deterministic for any shard count because sharding by key is a
+   deterministic partition. *)
+let combine verdicts =
+  let rec go unsup = function
+    | [] -> ( match unsup with Some u -> u | None -> Monitor.Accept)
+    | Monitor.Reject :: _ -> Monitor.Reject
+    | (Monitor.Unsupported _ as u) :: rest ->
+      go (match unsup with Some _ -> unsup | None -> Some u) rest
+    | Monitor.Accept :: rest -> go unsup rest
+  in
+  go None verdicts
+
+let spawn_reader queue ic =
+  Domain.spawn (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | line ->
+          Ingest.push_line queue (Mevent.parse line);
+          loop ()
+        | exception End_of_file -> ()
+        | exception Sys_error e -> Ingest.push_line queue (Mevent.Malformed e)
+      in
+      loop ();
+      Ingest.close queue)
+
+let run ~spec ~opts ?metrics ic =
+  let shards = if keyed_cls spec && opts.domains > 1 then opts.domains else 1 in
+  let engines =
+    Array.init shards (fun _ ->
+        Engine.create ~spec ~min_batch:opts.min_batch ~max_window:opts.max_window)
+  in
+  let queue = Ingest.create ~cap:opts.queue_cap opts.on_full in
+  let reader = spawn_reader queue ic in
+  (* (tid, op_index) -> shard, recorded at the call, consumed at the return *)
+  let route_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let shard_of_call (inv : Invocation.t) =
+    match inv.Invocation.arg with
+    | Value.Int k -> ((k mod shards) + shards) mod shards
+    | _ -> 0
+  in
+  let shard_of_event (ev : Event.t) =
+    if shards = 1 then 0
+    else
+      let id = ev.Event.tid, ev.Event.op_index in
+      match ev.Event.dir with
+      | Event.Call inv ->
+        let s = shard_of_call inv in
+        Hashtbl.replace route_tbl id s;
+        s
+      | Event.Return _ -> (
+        match Hashtbl.find_opt route_tbl id with
+        | Some s ->
+          Hashtbl.remove route_tbl id;
+          s
+        | None -> 0 (* return without call: any engine reports it *))
+  in
+  let bad = ref None in
+  let fed = ref 0 in
+  let rounds = ref 0 in
+  let resident_peak = ref 0 in
+  let next_report = ref (if opts.report_every > 0 then opts.report_every else max_int) in
+  let update_resident () =
+    let r = Array.fold_left (fun acc e -> acc + Engine.resident e) 0 engines in
+    if r > !resident_peak then resident_peak := r;
+    r
+  in
+  let feed_round items =
+    if shards = 1 then
+      List.iter
+        (fun item ->
+          match item with
+          | Ingest.Ev { event; _ } ->
+            incr fed;
+            Engine.feed engines.(0) event
+          | Ingest.Shed_op { call; ret } -> Engine.shed engines.(0) ~call ~ret
+          | Ingest.Bad e -> if !bad = None then bad := Some e)
+        items
+    else begin
+      let per_shard = Array.make shards [] in
+      List.iter
+        (fun item ->
+          match item with
+          | Ingest.Ev { event; _ } ->
+            incr fed;
+            let s = shard_of_event event in
+            per_shard.(s) <- `Ev event :: per_shard.(s)
+          | Ingest.Shed_op { call; ret } ->
+            let s = shard_of_event call in
+            (* the call was never routed through an engine; drop the stale
+               route entry it just created *)
+            Hashtbl.remove route_tbl (call.Event.tid, call.Event.op_index);
+            per_shard.(s) <- `Shed (call, ret) :: per_shard.(s)
+          | Ingest.Bad e -> if !bad = None then bad := Some e)
+        items;
+      let dirty =
+        List.filter (fun s -> per_shard.(s) <> []) (List.init shards Fun.id)
+      in
+      let feed_shard ~cancelled:_ s =
+        List.iter
+          (fun x ->
+            match x with
+            | `Ev ev -> Engine.feed engines.(s) ev
+            | `Shed (call, ret) -> Engine.shed engines.(s) ~call ~ret)
+          (List.rev per_shard.(s))
+      in
+      match dirty with
+      | [] -> ()
+      | [ s ] -> feed_shard ~cancelled:(fun () -> false) s
+      | _ ->
+        ignore
+          (Pool.map_seq
+             ~domains:(min opts.domains (List.length dirty))
+             ~f:feed_shard (List.to_seq dirty))
+    end
+  in
+  let decided () =
+    !bad <> None
+    || Array.exists (fun e -> Engine.verdict_now e = Some Monitor.Reject) engines
+    || Array.for_all (fun e -> Engine.verdict_now e <> None) engines
+  in
+  let rec loop () =
+    match Ingest.pop_batch queue ~max:8192 with
+    | [] -> () (* closed and drained *)
+    | items ->
+      feed_round items;
+      incr rounds;
+      if !rounds mod 16 = 0 then ignore (update_resident ());
+      if !fed >= !next_report then begin
+        next_report := !fed + opts.report_every;
+        let resident = update_resident () in
+        Trace.emit "monitor.tick"
+          [
+            "ops", Trace.Int !fed;
+            "depth", Trace.Int (Ingest.depth queue);
+            "resident", Trace.Int resident;
+          ];
+        Fmt.epr "monitor: %d events, resident %d@." !fed resident
+      end;
+      if decided () then Ingest.abandon queue else loop ()
+  in
+  loop ();
+  let early = !bad <> None || Array.exists (fun e -> Engine.verdict_now e <> None) engines in
+  (* On the normal EOF path the reader has already closed the queue and is
+     exiting, so the join is immediate. After an early stop it may still
+     be blocked in [input_line] on a FIFO that never ends; [abandon] made
+     its pushes no-ops, and the process exits without it. *)
+  if not early then Domain.join reader;
+  ignore (update_resident ());
+  let verdict =
+    match !bad with
+    | Some e -> Monitor.Unsupported (Fmt.str "malformed input: %s" e)
+    | None -> combine (Array.to_list (Array.map Engine.finalize engines))
+  in
+  let ops = Array.fold_left (fun acc e -> acc + Engine.ops e) 0 engines in
+  let engine_sheds = Array.fold_left (fun acc e -> acc + Engine.sheds e) 0 engines in
+  let sheds = max (Ingest.sheds queue) engine_sheds in
+  let windows = Array.fold_left (fun acc e -> acc + Engine.windows e) 0 engines in
+  (match metrics with
+   | None -> ()
+   | Some m ->
+     Metrics.add m "monitor.ops" ops;
+     Metrics.add m "monitor.sheds" sheds;
+     Metrics.add m "monitor.windows" windows;
+     Metrics.add m "monitor.shards" shards;
+     Metrics.add m "monitor.resident_peak" !resident_peak);
+  { verdict; ops; sheds; windows; resident_peak = !resident_peak; shards }
+
+(* Replay mode: the finite stream is a recording of one or more complete
+   histories (a [lineup check --trace] file); group events by their [hist]
+   tag — first-appearance order — and monitor each group as an independent
+   session, fanned out across domains. Used by the CI equivalence gate to
+   check the monitor against the offline verdict on the same histories. *)
+let replay ~spec ~opts ?metrics ic =
+  let groups : (int option, Event.t list) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let bad = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       match Mevent.parse line with
+       | Mevent.Blank | Mevent.Skip -> ()
+       | Mevent.Malformed e -> if !bad = None then bad := Some e
+       | Mevent.Ev { hist; event } ->
+         if not (Hashtbl.mem groups hist) then begin
+           order := hist :: !order;
+           Hashtbl.add groups hist []
+         end;
+         Hashtbl.replace groups hist (event :: Hashtbl.find groups hist)
+     done
+   with End_of_file -> ());
+  match !bad with
+  | Some e ->
+    let verdict = Monitor.Unsupported (Fmt.str "malformed input: %s" e) in
+    ( [],
+      { verdict; ops = 0; sheds = 0; windows = 0; resident_peak = 0; shards = 1 } )
+  | None ->
+    let hists = List.rev !order in
+    let session ~cancelled:_ hist =
+      let engine =
+        Engine.create ~spec ~min_batch:opts.min_batch ~max_window:opts.max_window
+      in
+      let events = List.rev (Hashtbl.find groups hist) in
+      List.iter (Engine.feed engine) events;
+      (hist, Engine.finalize engine, Engine.ops engine, Engine.windows engine)
+    in
+    let results =
+      Pool.map_seq ~domains:opts.domains ~f:session (List.to_seq hists)
+    in
+    let per_hist = List.map (fun (h, v, _, _) -> h, v) results in
+    let verdict = combine (List.map (fun (_, v, _, _) -> v) results) in
+    let ops = List.fold_left (fun acc (_, _, o, _) -> acc + o) 0 results in
+    let windows = List.fold_left (fun acc (_, _, _, w) -> acc + w) 0 results in
+    (match metrics with
+     | None -> ()
+     | Some m ->
+       Metrics.add m "monitor.ops" ops;
+       Metrics.add m "monitor.windows" windows;
+       Metrics.add m "monitor.histories" (List.length results));
+    ( per_hist,
+      { verdict; ops; sheds = 0; windows; resident_peak = 0; shards = 1 } )

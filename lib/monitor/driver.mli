@@ -1,0 +1,50 @@
+(** The [lineup monitor] driver: a reader domain parses the NDJSON stream
+    into a bounded {!Ingest} queue; the calling domain feeds the engines
+    in bulk-synchronous rounds, sharding keyed classes (set, dictionary)
+    per key across domains via {!Lineup_parallel.Pool}. *)
+
+type opts = {
+  domains : int;  (** shards for keyed classes; fan-out for {!replay} *)
+  min_batch : int;  (** window threshold of the fast engines *)
+  max_window : int;  (** quiescence bound before [Unsupported] *)
+  queue_cap : int;  (** ingest queue bound *)
+  on_full : Ingest.policy;  (** backpressure policy at the bound *)
+  report_every : int;  (** progress tick interval in events; 0 = off *)
+}
+
+val default_opts : opts
+(** 1 domain, [min_batch] 512, [max_window] 1_048_576, queue 65536,
+    [Block], no ticks. *)
+
+type outcome = {
+  verdict : Lineup_spec.Monitor.verdict;
+  ops : int;  (** completed operations checked *)
+  sheds : int;  (** operations dropped under the [Shed] policy *)
+  windows : int;  (** window / chunk checks performed *)
+  resident_peak : int;  (** max retained engine state observed *)
+  shards : int;  (** engines the stream was sharded across *)
+}
+
+val run :
+  spec:Lineup_spec.Spec.packed ->
+  opts:opts ->
+  ?metrics:Lineup_observe.Metrics.t ->
+  in_channel ->
+  outcome
+(** Monitor one live stream until EOF or a settled verdict (verdicts are
+    sticky, so a [Reject] stops the run early and abandons the rest of
+    the stream). Malformed lines settle the verdict as [Unsupported]. *)
+
+val replay :
+  spec:Lineup_spec.Spec.packed ->
+  opts:opts ->
+  ?metrics:Lineup_observe.Metrics.t ->
+  in_channel ->
+  (int option * Lineup_spec.Monitor.verdict) list * outcome
+(** Replay a finite recording (e.g. a [lineup check --trace] file):
+    events are grouped by their [hist] tag in first-appearance order and
+    each group is monitored as an independent session, fanned out across
+    [opts.domains]. Returns the per-history verdicts plus the combined
+    outcome ([Reject] if any history rejects, else the first
+    [Unsupported], else [Accept]) — the contract the CI equivalence gate
+    checks against the offline verdict. *)

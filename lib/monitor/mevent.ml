@@ -1,0 +1,113 @@
+module Value = Lineup_value.Value
+module Event = Lineup_history.Event
+module Invocation = Lineup_history.Invocation
+module Ndjson = Lineup_observe.Ndjson
+module Metrics = Lineup_observe.Metrics
+module Trace = Lineup_observe.Trace
+
+(* The NDJSON event codec: one call or return event per line, in exactly
+   the shape [lineup check --trace] emits (see README, "Trace schema"), so
+   a trace file replays through [lineup monitor] unmodified:
+
+     {"t":0.000123,"ev":"call","tid":0,"op":1,"name":"Enqueue","arg":"200"}
+     {"t":0.000150,"ev":"ret","tid":0,"op":1,"val":"unit"}
+
+   [arg]/[val] are {!Value.to_string} images (the exact round-tripping
+   codec); [arg] is omitted for [Unit]. The optional [hist] field tags the
+   history a replayed event belongs to. Lines whose [ev] is anything else
+   are skipped, so a raw check trace — which interleaves scheduler and pool
+   events — is a valid monitor input. *)
+
+type line =
+  | Ev of { hist : int option; event : Event.t }
+  | Skip
+  | Blank
+  | Malformed of string
+
+let render ?hist ?(t = 0.0) (event : Event.t) =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf "{\"t\":%.6f,\"ev\":" t);
+  (match event.Event.dir with
+   | Event.Call inv ->
+     Buffer.add_string b
+       (Printf.sprintf "\"call\",\"tid\":%d,\"op\":%d,\"name\":%s" event.Event.tid
+          event.Event.op_index
+          (Metrics.json_string inv.Invocation.name));
+     (match inv.Invocation.arg with
+      | Value.Unit -> ()
+      | arg ->
+        Buffer.add_string b
+          (Printf.sprintf ",\"arg\":%s" (Metrics.json_string (Value.to_string arg))))
+   | Event.Return v ->
+     Buffer.add_string b
+       (Printf.sprintf "\"ret\",\"tid\":%d,\"op\":%d,\"val\":%s" event.Event.tid
+          event.Event.op_index
+          (Metrics.json_string (Value.to_string v))));
+  (match hist with
+   | Some h -> Buffer.add_string b (Printf.sprintf ",\"hist\":%d" h)
+   | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Blank
+  else
+    match Ndjson.parse s with
+    | Error e -> Malformed e
+    | Ok json -> (
+      match Option.bind (Ndjson.member "ev" json) Ndjson.to_str with
+      | None -> Skip
+      | Some (("call" | "ret") as ev) -> (
+        let int_field k = Option.bind (Ndjson.member k json) Ndjson.to_int in
+        let str_field k = Option.bind (Ndjson.member k json) Ndjson.to_str in
+        match int_field "tid", int_field "op" with
+        | Some tid, Some op_index -> (
+          let hist = int_field "hist" in
+          try
+            if ev = "call" then
+              match str_field "name" with
+              | None -> Malformed "call event without a name"
+              | Some name ->
+                let arg =
+                  match str_field "arg" with
+                  | None -> Value.Unit
+                  | Some a -> Value.of_string a
+                in
+                Ev
+                  { hist;
+                    event = Event.call ~tid ~op_index (Invocation.make ~arg name);
+                  }
+            else
+              match str_field "val" with
+              | None -> Malformed "ret event without a val"
+              | Some v ->
+                Ev { hist; event = Event.return ~tid ~op_index (Value.of_string v) }
+          with Invalid_argument e -> Malformed e)
+        | _ -> Malformed (Printf.sprintf "%s event without tid/op" ev))
+      | Some _ -> Skip)
+
+(* Emission into the live [Trace] sink — the producer side of the codec,
+   used by [lineup check --trace] so its trace files are monitor inputs.
+   Field layout must match [render] (which the round-trip test enforces
+   for [render]/[parse]; the trace-shape test covers this path). *)
+let emit_trace ?hist (event : Event.t) =
+  let hist_field = match hist with Some h -> [ "hist", Trace.Int h ] | None -> [] in
+  match event.Event.dir with
+  | Event.Call inv ->
+    Trace.emit "call"
+      ([ "tid", Trace.Int event.Event.tid;
+         "op", Trace.Int event.Event.op_index;
+         "name", Trace.Str inv.Invocation.name;
+       ]
+      @ (match inv.Invocation.arg with
+        | Value.Unit -> []
+        | arg -> [ "arg", Trace.Str (Value.to_string arg) ])
+      @ hist_field)
+  | Event.Return v ->
+    Trace.emit "ret"
+      ([ "tid", Trace.Int event.Event.tid;
+         "op", Trace.Int event.Event.op_index;
+         "val", Trace.Str (Value.to_string v);
+       ]
+      @ hist_field)

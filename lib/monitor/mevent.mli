@@ -1,0 +1,31 @@
+(** The NDJSON call/return event codec shared between [lineup check
+    --trace] and [lineup monitor].
+
+    One event per line, in the {!Lineup_observe.Trace} shape:
+
+    {v
+{"t":0.000123,"ev":"call","tid":0,"op":1,"name":"Enqueue","arg":"200"}
+{"t":0.000150,"ev":"ret","tid":0,"op":1,"val":"unit"}
+    v}
+
+    [arg]/[val] are {!Lineup_value.Value.to_string} images ([arg] omitted
+    for [Unit]); the optional [hist] field tags which replayed history an
+    event belongs to. Lines with any other [ev] are skipped, so a raw
+    check trace replays through the monitor unmodified. *)
+
+type line =
+  | Ev of { hist : int option; event : Lineup_history.Event.t }
+      (** a call or return event *)
+  | Skip  (** valid JSON, but not a call/return event — ignored *)
+  | Blank  (** empty line — ignored *)
+  | Malformed of string  (** not valid input; the stream is corrupt *)
+
+val render : ?hist:int -> ?t:float -> Lineup_history.Event.t -> string
+(** One NDJSON line (without the trailing newline). [t] defaults to 0. *)
+
+val parse : string -> line
+(** Classify and decode one input line. Total — never raises. *)
+
+val emit_trace : ?hist:int -> Lineup_history.Event.t -> unit
+(** Emit the event into the live {!Lineup_observe.Trace} sink (no-op when
+    tracing is disabled), with the same field layout as {!render}. *)

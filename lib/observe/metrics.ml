@@ -48,6 +48,4 @@ let to_json t =
   Buffer.add_string buf "}\n}\n";
   Buffer.contents buf
 
-let write_file t ~path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json t))
+let write_file t ~path = Atomic_file.write ~path (to_json t)

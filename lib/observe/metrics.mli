@@ -47,7 +47,10 @@ val to_json : t -> string
     Byte-identical for equal counter contents. *)
 
 val write_file : t -> path:string -> unit
-(** Write {!to_json} to [path] (truncating). *)
+(** Write {!to_json} to [path] atomically (staged in a sibling temporary
+    file, then renamed — see {!Atomic_file}). A process killed mid-write
+    leaves either the previous complete summary or none, never a
+    truncated JSON document. *)
 
 (**/**)
 

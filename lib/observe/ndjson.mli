@@ -1,0 +1,35 @@
+(** A minimal JSON parser for the NDJSON streams this repository itself
+    produces and consumes — one line of a {!Trace} file, one metrics
+    summary, one bench row.
+
+    It accepts standard JSON (objects, arrays, strings with the usual
+    escapes including [\uXXXX], numbers, booleans, [null]); numbers are
+    represented as [float], the only number type JSON has. The parser is a
+    total function: malformed input is an [Error], never an exception.
+
+    It lives in [lib/observe], below every other library, so the streaming
+    monitor, the test suite and the bench harness can share one reader
+    without an external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** [parse s] parses exactly one JSON document spanning the whole string
+    (leading/trailing whitespace allowed). The error message carries the
+    byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member k v] is field [k] of object [v]; [None] when [v] is not an
+    object or has no such field. *)
+
+val to_int : t -> int option
+(** [Some n] iff the value is a number holding an exact integer. *)
+
+val to_str : t -> string option
+(** [Some s] iff the value is a string. *)

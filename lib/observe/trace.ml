@@ -33,13 +33,20 @@ let enable ~path =
   let oc = open_out path in
   Atomic.set state (Some { oc; mutex = Mutex.create (); t0 = Monotonic.now () })
 
+(* JSON has no literal for nan/inf; "%.6f" would render them as bare words
+   ("nan", "inf") and corrupt the NDJSON stream for every downstream
+   parser. A non-finite measurement carries no usable magnitude anyway, so
+   it degrades to [null] and the line stays machine-readable. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
 let add_field buf (k, v) =
   Buffer.add_char buf ',';
   Buffer.add_string buf (Metrics.json_string k);
   Buffer.add_char buf ':';
   match v with
   | Int n -> Buffer.add_string buf (string_of_int n)
-  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
+  | Float f -> Buffer.add_string buf (json_float f)
   | Str s -> Buffer.add_string buf (Metrics.json_string s)
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
 

@@ -42,7 +42,9 @@ val emit : string -> (string * field) list -> unit
 (** [emit ev fields] — append one event line; no-op when disabled. The
     line is flushed before [emit] returns: a process killed mid-run
     leaves a trace file that parses line-by-line, missing at most the
-    event being written at the instant of the kill. *)
+    event being written at the instant of the kill. [Float] fields render
+    with six decimal places; non-finite floats (nan, ±inf) render as
+    [null] so every emitted line is valid JSON. *)
 
 val with_trace : path:string option -> (unit -> 'a) -> 'a
 (** [with_trace ~path f] runs [f] with tracing enabled when [path] is

@@ -62,12 +62,7 @@ let rec mkdir_p dir =
   end
 
 (* Atomic: a reader (or a resumed server) never sees a torn file. *)
-let write_file path contents =
-  let tmp = Fmt.str "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp path
+let write_file path contents = Lineup_observe.Atomic_file.write ~path contents
 
 let read_file path =
   let ic = open_in_bin path in

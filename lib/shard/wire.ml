@@ -22,9 +22,17 @@ type to_worker =
   | Task of { index : int; prefix : string }
   | Shutdown
 
+(* OCaml delivers signals by interrupting blocking syscalls, so any signal
+   landing mid-frame (SIGCHLD from a finished worker, a profiler's SIGPROF,
+   an operator's SIGHUP) makes [Unix.read]/[Unix.write] raise [EINTR].
+   Without the retry, [recv_*]'s blanket [Unix_error] handler turned that
+   into a spurious EOF and killed the server/worker mid-protocol. *)
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
 let rec write_all fd buf ofs len =
   if len > 0 then begin
-    let n = Unix.write fd buf ofs len in
+    let n = retry_eintr (fun () -> Unix.write fd buf ofs len) in
     write_all fd buf (ofs + n) (len - n)
   end
 
@@ -34,7 +42,7 @@ let read_exact fd len =
   let rec go ofs =
     if ofs >= len then Some buf
     else
-      match Unix.read fd buf ofs (len - ofs) with
+      match retry_eintr (fun () -> Unix.read fd buf ofs (len - ofs)) with
       | 0 -> None
       | n -> go (ofs + n)
   in

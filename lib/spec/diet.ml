@@ -1,0 +1,43 @@
+(* A discrete interval encoding of an int set: a map from interval low
+   endpoint to high endpoint, with adjacent intervals merged. The streaming
+   monitors use these to remember "every value ever inserted/removed" over
+   unbounded streams — producers that draw values from a counter or a small
+   pool keep the set at a handful of intervals regardless of stream length,
+   which is what makes windowed GC's O(1)-per-value membership checks
+   possible. *)
+
+module M = Map.Make (Int)
+
+type t = int M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+
+let mem x t =
+  match M.find_last_opt (fun lo -> lo <= x) t with
+  | Some (_, hi) -> x <= hi
+  | None -> false
+
+let add x t =
+  if mem x t then t
+  else begin
+    (* Merge with the interval ending at [x - 1] and/or starting at
+       [x + 1]; the min_int/max_int guards keep the neighbor probes from
+       overflowing. *)
+    let left =
+      if x = min_int then None
+      else
+        match M.find_last_opt (fun lo -> lo < x) t with
+        | Some (lo, hi) when hi = x - 1 -> Some lo
+        | _ -> None
+    in
+    let right = if x < max_int && M.mem (x + 1) t then Some (M.find (x + 1) t) else None in
+    match (left, right) with
+    | Some llo, Some rhi -> M.add llo rhi (M.remove (x + 1) t)
+    | Some llo, None -> M.add llo x t
+    | None, Some rhi -> M.add x rhi (M.remove (x + 1) t)
+    | None, None -> M.add x x t
+  end
+
+let intervals t = M.bindings t
+let interval_count = M.cardinal

@@ -86,6 +86,53 @@ let check_outcome spec h =
     | Some _ -> `Linearizable
     | None -> `Not_linearizable)
 
+(* All specification states reachable by linearizing the complete history
+   [h] in full, one representative per distinct [state_key], in sorted key
+   order. This is the feasible-state set the chunked streaming monitor
+   ({!Kmon}) propagates between quiescent chunks: the next chunk is
+   linearizable after this one iff it is linearizable from one of these
+   states. Unlike [search], the exploration does not stop at the first
+   witness — it must enumerate every final state — but the same
+   (mask, state_key) memoization bounds it. *)
+let final_states (spec : 'st Spec.t) h =
+  if not (History.is_complete h) then
+    invalid_arg "Lin_check.final_states: history has pending operations";
+  match prepare h with
+  | Error reason -> `Unsupported reason
+  | Ok (ops, n, preds) ->
+    let full = (1 lsl n) - 1 in
+    let out : (string, 'st) Hashtbl.t = Hashtbl.create 16 in
+    let visited : (int * string, unit) Hashtbl.t = Hashtbl.create 256 in
+    let rec go mask st =
+      let key = spec.Spec.state_key st in
+      if not (Hashtbl.mem visited (mask, key)) then begin
+        Hashtbl.add visited (mask, key) ();
+        if mask = full then begin
+          if not (Hashtbl.mem out key) then Hashtbl.add out key st
+        end
+        else
+          for i = 0 to n - 1 do
+            if
+              mask land bit i = 0
+              && not (List.exists (fun j -> mask land bit j = 0) preds.(i))
+            then begin
+              let op : Op.t = ops.(i) in
+              match spec.Spec.step st op.inv, op.resp with
+              | Spec.Return (v, st'), Some resp when Value.equal v resp ->
+                go (mask lor bit i) st'
+              | (Spec.Return _ | Spec.Blocked), _ -> ()
+            end
+          done
+      end
+    in
+    go 0 spec.Spec.initial;
+    let states =
+      Hashtbl.fold (fun k st acc -> (k, st) :: acc) out []
+      |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+      |> List.map snd
+    in
+    `States states
+
 let check_stuck_outcome spec h =
   if not (History.is_stuck h) then invalid_arg "Lin_check.check_stuck: history is not stuck";
   let justified (e : Op.t) =

@@ -26,6 +26,16 @@ val check_outcome :
   Lineup_history.History.t ->
   [ `Linearizable | `Not_linearizable | `Unsupported of string ]
 
+(** [final_states spec h] — all specification states reachable by
+    linearizing the complete history [h] in full: one representative per
+    distinct [state_key], sorted by key (so the list is deterministic).
+    [`States []] means no witness exists at all. This is the feasible-state
+    set the chunked streaming monitor ({!Kmon}) threads between quiescent
+    chunks. Raises [Invalid_argument] if [h] has pending operations;
+    oversized histories are [`Unsupported]. *)
+val final_states :
+  'st Spec.t -> Lineup_history.History.t -> [ `States of 'st list | `Unsupported of string ]
+
 (** [check_stuck_outcome spec h] — Definition 2: every pending operation [e]
     of stuck history [h] must have a serial witness for [H[e]] in the
     blocked extension [Ȳ] of the specification; [`Unjustified e] carries

@@ -197,8 +197,16 @@ let check_queue h =
    the top when it is popped. Pop-empties never block: one forced strictly
    inside a gap is already rejected by the covering check (the value is
    definitely present throughout). Unmatched pushes block forever, which is
-   exactly right — a value stuck above [v] that is never popped. *)
-let check_peel values =
+   exactly right — a value stuck above [v] that is never popped.
+
+   [peel_leftover] returns the matched pairs that never become peelable —
+   empty iff the fixpoint consumes everything. The streaming monitor calls
+   it once per window: peeling is monotone and confluent (a peelable pair
+   stays peelable as other pairs are removed, and removing a pair only
+   shrinks the blocker sets of the rest), so re-running it over the
+   carried-over leftovers plus each new window's pairs reaches the same
+   fixpoint as one offline pass over the whole history. *)
+let peel_leftover values =
   let matched =
     Array.of_list (List.filter_map (fun (i, r) -> Option.map (fun r -> i, r) r) values)
   in
@@ -215,9 +223,14 @@ let check_peel values =
   let gaps_of : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (x : Op.t) ->
-      let gs = List.filter (inside x) (List.init nv (fun i -> i)) in
-      List.iter (fun vi -> counts.(vi) <- counts.(vi) + 1) gs;
-      if gs <> [] then Hashtbl.replace gaps_of (Op.key x) gs)
+      let gs = ref [] in
+      for vi = nv - 1 downto 0 do
+        if inside x vi then begin
+          counts.(vi) <- counts.(vi) + 1;
+          gs := vi :: !gs
+        end
+      done;
+      if !gs <> [] then Hashtbl.replace gaps_of (Op.key x) !gs)
     blockers;
   let peeled = Array.make nv false in
   let ready = Queue.create () in
@@ -240,7 +253,12 @@ let check_peel values =
       release rem
     end
   done;
-  if !remaining > 0 then reject ()
+  if !remaining = 0 then []
+  else
+    Array.to_list matched
+    |> List.filteri (fun vi _ -> not peeled.(vi))
+
+let check_peel values = if peel_leftover values <> [] then reject ()
 
 let check_stack h =
   try
@@ -265,3 +283,302 @@ let check ~(cls : Spec.cls) h =
   | Spec.Stack -> check_stack h
   | Spec.Set | Spec.Dictionary | Spec.Counter | Spec.Other ->
     Unsupported ("no monitor for class " ^ Spec.cls_name cls)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (streaming) monitors                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  module Event = Lineup_history.Event
+
+  (* The online form of the same two monitors. Events arrive one at a time;
+     the engine batches completed operations into windows and, at each
+     quiescent point (no call pending), runs the offline interval checks on
+     the window plus the still-live values, then garbage-collects the
+     decided pairs and empties. Absolute event positions are 63-bit ints
+     assigned on arrival and never renormalized, so GC never invalidates a
+     position.
+
+     Why GC cannot change a verdict (see also DESIGN.md):
+     - FIFO: a violating pair (v, w) with w removed while v is still live
+       is caught in w's window, because an unremoved v contributes
+       [max_int] to the prefix maximum; if v's remove completed in an
+       earlier window, no violation involving (v, w) exists at all.
+     - Empty covers: a GC'd pair's cover interval ends strictly before the
+       window boundary, hence before any later empty-remove's call; it can
+       neither cover a slot of that empty's range nor bridge two retained
+       intervals across the boundary.
+     - Stack peeling is monotone and confluent, so peeled pairs are final
+       and the leftover set is carried forward ([peel_leftover]).
+
+     Load shedding ([shed]) degrades the engine accept-lean: a shed insert
+     grants its value amnesty (later operations on it are swallowed), a
+     shed remove silently consumes its value, and once anything was shed a
+     remove of an unknown value is swallowed rather than rejected. A
+     [Reject] therefore remains trustworthy under shedding; only
+     completeness is lost. *)
+
+  type cfg = {
+    insert_name : string;
+    remove_names : string list;
+    remove_may_fail : string -> bool;
+    lifo : bool;
+  }
+
+  type t = {
+    cfg : cfg;
+    min_batch : int;
+    max_window : int;
+    mutable pos : int;
+    (* (tid, op_index) of each pending call, with its invocation/position *)
+    pending : (int * int, Invocation.t * int) Hashtbl.t;
+    (* value -> the number of its pending inserts (0/1 outside amnesty) *)
+    ins_pending : (int, unit) Hashtbl.t;
+    (* value -> its completed insert, not yet removed *)
+    live : (int, Op.t) Hashtbl.t;
+    (* value -> a remove that returned while the insert was still pending *)
+    early_rem : (int, Op.t) Hashtbl.t;
+    mutable inserted : Diet.t;
+    mutable removed : Diet.t;
+    mutable amnesty : Diet.t;
+    mutable w_pairs : (Op.t * Op.t) list;
+    mutable w_empties : Op.t list;
+    mutable w_count : int;
+    mutable unpeeled : (Op.t * Op.t) list;
+    mutable verdict : verdict option;
+    mutable n_ops : int;
+    mutable n_sheds : int;
+    mutable n_windows : int;
+  }
+
+  let queue_cfg =
+    {
+      insert_name = "Enqueue";
+      remove_names = [ "TryDequeue"; "Take" ];
+      remove_may_fail = String.equal "TryDequeue";
+      lifo = false;
+    }
+
+  let stack_cfg =
+    {
+      insert_name = "Push";
+      remove_names = [ "TryPop" ];
+      remove_may_fail = (fun _ -> true);
+      lifo = true;
+    }
+
+  let create cfg ~min_batch ~max_window =
+    {
+      cfg;
+      min_batch = max 1 min_batch;
+      max_window = max 1 max_window;
+      pos = 0;
+      pending = Hashtbl.create 64;
+      ins_pending = Hashtbl.create 64;
+      live = Hashtbl.create 256;
+      early_rem = Hashtbl.create 8;
+      inserted = Diet.empty;
+      removed = Diet.empty;
+      amnesty = Diet.empty;
+      w_pairs = [];
+      w_empties = [];
+      w_count = 0;
+      unpeeled = [];
+      verdict = None;
+      n_ops = 0;
+      n_sheds = 0;
+      n_windows = 0;
+    }
+
+  let create_queue ?(min_batch = 512) ?(max_window = 1_048_576) () =
+    create queue_cfg ~min_batch ~max_window
+
+  let create_stack ?(min_batch = 512) ?(max_window = 1_048_576) () =
+    create stack_cfg ~min_batch ~max_window
+
+  let live_values t =
+    Hashtbl.fold (fun _ ins acc -> (ins, None) :: acc) t.live []
+
+  let run_window t =
+    t.n_windows <- t.n_windows + 1;
+    let pairs = List.rev_map (fun (i, r) -> i, Some r) t.w_pairs in
+    let values = List.rev_append pairs (live_values t) in
+    if t.cfg.lifo then begin
+      check_empties values t.w_empties;
+      let carried = List.rev_map (fun (i, r) -> i, Some r) t.unpeeled in
+      t.unpeeled <- peel_leftover (List.rev_append carried values)
+    end
+    else begin
+      check_fifo values;
+      check_empties values t.w_empties
+    end;
+    t.w_pairs <- [];
+    t.w_empties <- [];
+    t.w_count <- 0
+
+  let maybe_window t =
+    if Hashtbl.length t.pending = 0 then begin
+      if t.w_count >= t.min_batch then run_window t
+    end
+    else if t.w_count + Hashtbl.length t.pending > t.max_window then
+      unsupported "no quiescent point within %d operations" t.max_window
+
+  let on_call t tid op_index (inv : Invocation.t) =
+    if Hashtbl.mem t.pending (tid, op_index) then
+      unsupported "duplicate call for operation (%d, %d)" tid op_index;
+    let name = inv.Invocation.name in
+    if String.equal name t.cfg.insert_name then (
+      match inv.Invocation.arg with
+      | Value.Int v ->
+        if Diet.mem v t.amnesty then ()
+        else if Diet.mem v t.inserted then
+          unsupported "ambiguous: value inserted twice"
+        else begin
+          t.inserted <- Diet.add v t.inserted;
+          Hashtbl.replace t.ins_pending v ()
+        end
+      | _ -> unsupported "non-integer %s argument" t.cfg.insert_name)
+    else if List.mem name t.cfg.remove_names then (
+      match inv.Invocation.arg with
+      | Value.Unit -> ()
+      | _ -> unsupported "unexpected %s argument" name)
+    else unsupported "unsupported operation %s" name;
+    Hashtbl.add t.pending (tid, op_index) (inv, t.pos);
+    t.pos <- t.pos + 1
+
+  let add_pair t ins rem =
+    t.w_pairs <- (ins, rem) :: t.w_pairs
+
+  let on_insert_return t (op : Op.t) v =
+    if Diet.mem v t.amnesty then Hashtbl.remove t.ins_pending v
+    else begin
+      Hashtbl.remove t.ins_pending v;
+      match Hashtbl.find_opt t.early_rem v with
+      | Some rem ->
+        Hashtbl.remove t.early_rem v;
+        t.removed <- Diet.add v t.removed;
+        add_pair t op rem
+      | None -> Hashtbl.replace t.live v op
+    end
+
+  let on_remove_return t (op : Op.t) resp =
+    match resp with
+    | Value.Fail ->
+      if t.cfg.remove_may_fail op.Op.inv.Invocation.name then
+        t.w_empties <- op :: t.w_empties
+      else reject ()
+    | Value.Int v -> (
+      match Hashtbl.find_opt t.live v with
+      | Some ins ->
+        Hashtbl.remove t.live v;
+        t.removed <- Diet.add v t.removed;
+        add_pair t ins op
+      | None ->
+        if Diet.mem v t.amnesty then ()
+        else if Diet.mem v t.removed then reject () (* removed twice *)
+        else if Hashtbl.mem t.ins_pending v then begin
+          if Hashtbl.mem t.early_rem v then reject () (* removed twice *)
+          else Hashtbl.replace t.early_rem v op
+        end
+        else if t.n_sheds > 0 then () (* plausibly pairs with a shed insert *)
+        else reject () (* removed but never inserted *))
+    | _ -> reject ()
+
+  let feed t (ev : Event.t) =
+    match t.verdict with
+    | Some _ -> ()
+    | None -> (
+      try
+        (match ev.Event.dir with
+         | Event.Call inv -> on_call t ev.Event.tid ev.Event.op_index inv
+         | Event.Return resp -> (
+           match Hashtbl.find_opt t.pending (ev.Event.tid, ev.Event.op_index) with
+           | None ->
+             unsupported "return without call for operation (%d, %d)"
+               ev.Event.tid ev.Event.op_index
+           | Some (inv, call_pos) ->
+             Hashtbl.remove t.pending (ev.Event.tid, ev.Event.op_index);
+             let op =
+               {
+                 Op.tid = ev.Event.tid;
+                 op_index = ev.Event.op_index;
+                 inv;
+                 resp = Some resp;
+                 call_pos;
+                 ret_pos = Some t.pos;
+               }
+             in
+             t.pos <- t.pos + 1;
+             t.n_ops <- t.n_ops + 1;
+             t.w_count <- t.w_count + 1;
+             if String.equal inv.Invocation.name t.cfg.insert_name then begin
+               if not (Value.equal resp Value.unit) then reject ();
+               match inv.Invocation.arg with
+               | Value.Int v -> on_insert_return t op v
+               | _ -> assert false (* checked at call *)
+             end
+             else on_remove_return t op resp));
+        maybe_window t
+      with Verdict v -> t.verdict <- Some v)
+
+  (* A shed operation ran in the monitored system but was dropped from the
+     stream under load. [call]/[ret] are the op's two events as captured at
+     drop time; degrade accept-lean (see the module comment). *)
+  let shed t ~(call : Event.t) ~(ret : Event.t) =
+    match t.verdict with
+    | Some _ -> ()
+    | None ->
+      t.n_sheds <- t.n_sheds + 1;
+      (match call.Event.dir with
+       | Event.Call inv when String.equal inv.Invocation.name t.cfg.insert_name
+         -> (
+           match inv.Invocation.arg with
+           | Value.Int v -> t.amnesty <- Diet.add v t.amnesty
+           | _ -> ())
+       | Event.Call inv when List.mem inv.Invocation.name t.cfg.remove_names
+         -> (
+           match ret.Event.dir with
+           | Event.Return (Value.Int v) ->
+             if Hashtbl.mem t.live v then begin
+               Hashtbl.remove t.live v;
+               t.removed <- Diet.add v t.removed
+             end
+             else t.amnesty <- Diet.add v t.amnesty
+           | _ -> ())
+       | _ -> ())
+
+  let verdict_now t = t.verdict
+
+  let finalize t =
+    match t.verdict with
+    | Some v -> v
+    | None ->
+      let v =
+        try
+          if Hashtbl.length t.pending > 0 then unsupported "pending operation";
+          run_window t;
+          if t.cfg.lifo && t.unpeeled <> [] then reject ();
+          Accept
+        with Verdict v -> v
+      in
+      t.verdict <- Some v;
+      v
+
+  let ops t = t.n_ops
+  let sheds t = t.n_sheds
+  let windows t = t.n_windows
+
+  (* Upper bound on retained tracking state, in operations — what windowed
+     GC keeps bounded. The Diets are excluded: they are interval-compressed
+     and measured separately via [interval_count]. *)
+  let resident t =
+    Hashtbl.length t.live + Hashtbl.length t.pending + Hashtbl.length t.early_rem
+    + (2 * List.length t.w_pairs)
+    + List.length t.w_empties
+    + (2 * List.length t.unpeeled)
+
+  let intervals t =
+    Diet.interval_count t.inserted
+    + Diet.interval_count t.removed
+    + Diet.interval_count t.amnesty
+end

@@ -35,3 +35,66 @@ val check_stack : Lineup_history.History.t -> verdict
 (** [check ~cls h] dispatches on the specification class; classes without a
     monitor answer [Unsupported]. *)
 val check : cls:Spec.cls -> Lineup_history.History.t -> verdict
+
+(** Incremental (streaming) form of the same monitors, for [lineup
+    monitor]: events are fed one at a time and the verdict is maintained
+    online with bounded memory.
+
+    Completed operations accumulate in a window; at each quiescent point
+    (no pending call) once at least [min_batch] operations have completed,
+    the offline interval checks run over the window plus the still-live
+    values and the decided pairs/empties are garbage-collected. GC cannot
+    change any verdict — see DESIGN.md ("Streaming monitor") for the
+    argument per check. If no quiescent point occurs within [max_window]
+    operations the engine degrades to [Unsupported] rather than growing
+    without bound.
+
+    Verdicts are sticky: after the first [Reject]/[Unsupported], further
+    events are ignored. [shed] records an operation dropped under
+    backpressure and degrades the engine {e accept-lean}: a [Reject]
+    remains trustworthy, but some violations involving shed values may be
+    missed. *)
+module Stream : sig
+  type t
+
+  val create_queue : ?min_batch:int -> ?max_window:int -> unit -> t
+  (** Queue engine ([Enqueue]/[TryDequeue]/[Take]). [min_batch] defaults
+      to 512, [max_window] to 1_048_576. *)
+
+  val create_stack : ?min_batch:int -> ?max_window:int -> unit -> t
+  (** Stack engine ([Push]/[TryPop]); same defaults. *)
+
+  val feed : t -> Lineup_history.Event.t -> unit
+  (** Process one call or return event. No-op once a verdict is reached. *)
+
+  val shed : t -> call:Lineup_history.Event.t -> ret:Lineup_history.Event.t -> unit
+  (** Record an operation dropped under backpressure, given its two events
+      as captured at drop time. *)
+
+  val verdict_now : t -> verdict option
+  (** [Some] once the verdict is decided (sticky); [None] while the stream
+      is still undecided (= accepting so far). *)
+
+  val finalize : t -> verdict
+  (** End of stream: run the final window regardless of [min_batch] and
+      settle the verdict. A still-pending operation is [Unsupported],
+      matching the offline monitors. *)
+
+  val ops : t -> int
+  (** Completed operations processed. *)
+
+  val sheds : t -> int
+  (** Operations dropped via {!shed}. *)
+
+  val windows : t -> int
+  (** Window checks performed. *)
+
+  val resident : t -> int
+  (** Current retained tracking state in operations (live values, window
+      accumulators, pending calls, unpeeled pairs) — the quantity windowed
+      GC keeps bounded. *)
+
+  val intervals : t -> int
+  (** Total interval count across the value Diets (inserted / removed /
+      amnesty) — the engine's only other retained state. *)
+end

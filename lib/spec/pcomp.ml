@@ -19,6 +19,29 @@ module Invocation = Lineup_history.Invocation
 let key_of_op (op : Op.t) =
   match op.inv.Invocation.arg with Value.Int k -> Some k | _ -> None
 
+(* A projection (or, in the streaming monitor, a chunk) drops operations,
+   so per-thread [op_index] values are no longer contiguous; renumber them
+   (keeping call/return paired via the original index) to satisfy
+   [History.make] well-formedness. Event order — hence precedence — is
+   untouched. *)
+let renumber evs =
+  let next : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let assigned : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun (ev : Event.t) ->
+      let id = ev.Event.tid, ev.Event.op_index in
+      let idx =
+        match Hashtbl.find_opt assigned id with
+        | Some i -> i
+        | None ->
+          let i = Option.value ~default:0 (Hashtbl.find_opt next ev.Event.tid) in
+          Hashtbl.replace next ev.Event.tid (i + 1);
+          Hashtbl.replace assigned id i;
+          i
+      in
+      { ev with Event.op_index = idx })
+    evs
+
 let split h =
   let ops = History.ops h in
   let key_by_id : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
@@ -41,28 +64,6 @@ let split h =
         Hashtbl.replace buckets k (ev :: evs))
       (History.events h);
     let keys = List.sort_uniq Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) buckets []) in
-    (* The projection drops operations, so per-thread [op_index] values are
-       no longer contiguous; renumber them (keeping call/return paired via
-       the original index) to satisfy [History.make] well-formedness. Event
-       order — hence precedence — is untouched. *)
-    let renumber evs =
-      let next : (int, int) Hashtbl.t = Hashtbl.create 4 in
-      let assigned : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
-      List.map
-        (fun (ev : Event.t) ->
-          let id = ev.Event.tid, ev.Event.op_index in
-          let idx =
-            match Hashtbl.find_opt assigned id with
-            | Some i -> i
-            | None ->
-              let i = Option.value ~default:0 (Hashtbl.find_opt next ev.Event.tid) in
-              Hashtbl.replace next ev.Event.tid (i + 1);
-              Hashtbl.replace assigned id i;
-              i
-          in
-          { ev with Event.op_index = idx })
-        evs
-    in
     Some
       (List.map
          (fun k -> k, History.make ~stuck:false (renumber (List.rev (Hashtbl.find buckets k))))

@@ -11,6 +11,13 @@
     couple the keys; their presence makes the split unsound, so it is
     refused and the caller falls back to the generic search. *)
 
+(** [renumber evs] rewrites per-thread [op_index] values to be contiguous
+    from 0 in event order, keeping each call paired with its return via the
+    original index. Event order — hence precedence — is untouched. Needed
+    whenever a subsequence of a history's events (a per-key projection, a
+    streaming chunk) is turned back into a well-formed {!History.t}. *)
+val renumber : Lineup_history.Event.t list -> Lineup_history.Event.t list
+
 (** [split h] partitions the history by the integer argument of each
     operation, or returns [None] if some operation has none. Parts are
     returned in increasing key order; each is a well-formed (non-stuck)

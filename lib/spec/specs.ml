@@ -162,3 +162,21 @@ let all =
     Packed key_set;
     Packed dictionary;
   ]
+
+(* CLI-facing names ([lineup monitor SPEC]). "set" is the key set — the
+   deterministic core of the Set class — and parameterized specs use a
+   fixed canonical initial state. *)
+let by_name =
+  [
+    "counter", Packed counter;
+    "register", Packed register;
+    "queue", Packed queue;
+    "stack", Packed stack;
+    "semaphore", Packed (semaphore ~initial:0);
+    "mre", Packed (manual_reset_event ~initial:false);
+    "set", Packed key_set;
+    "dictionary", Packed dictionary;
+  ]
+
+let names = List.map fst by_name
+let find name = List.assoc_opt (String.lowercase_ascii name) by_name

@@ -42,3 +42,12 @@ val key_set : int list Spec.t
 val dictionary : (int * int) list Spec.t
 
 val all : Spec.packed list
+
+val names : string list
+(** The CLI-facing specification names accepted by {!find}, in a stable
+    order: ["counter"], ["register"], ["queue"], ["stack"], ["semaphore"],
+    ["mre"], ["set"] (the key set), ["dictionary"]. *)
+
+val find : string -> Spec.packed option
+(** Look a specification up by its CLI name (case-insensitive);
+    parameterized specifications use their canonical initial state. *)

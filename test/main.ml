@@ -27,4 +27,5 @@ let () =
       "cross-validation", Test_crossval.tests;
       "membership", Test_membership.tests;
       "shard", Test_shard.tests;
+      "monitor", Test_monitor.tests;
     ]

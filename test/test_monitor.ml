@@ -1,0 +1,543 @@
+(* The streaming monitor stack, bottom to top:
+
+   - the NDJSON event codec ([Mevent.render]/[parse]): qcheck round-trip
+     over random events (the [arg]/[val] strings are [Value.to_string]
+     images, so any value round-trips), plus the skip/blank/malformed
+     line taxonomy;
+   - the fast streaming engines ([Monitor.Stream]) against the offline
+     decrease-and-conquer monitors on random accepting AND rejecting
+     queue/stack histories — windowed GC must never change the verdict,
+     so the property runs at min_batch 1 (a window per quiescent point)
+     and 4;
+   - the chunked feasible-state engine ([Kmon]) against the Wing–Gong
+     oracle on random keyed set histories and unkeyed counter histories;
+   - windowing as a memory bound: a long bounded-occupancy stream keeps
+     [resident] small, and a stream with no quiescent point inside
+     [max_window] answers [Unsupported], never a wrong verdict;
+   - load-shedding amnesty: a shed insert excuses the retained remove of
+     its value (accept-lean, no false reject);
+   - the driver end to end over temp NDJSON files: streaming accept and
+     reject verdicts, and [--replay] grouping by the [hist] tag. *)
+
+open Helpers
+module Value = Lineup_value.Value
+module Event = Lineup_history.Event
+module Monitor = Lineup_spec.Monitor
+module Kmon = Lineup_spec.Kmon
+module Lin_check = Lineup_spec.Lin_check
+module Spec = Lineup_spec.Spec
+module Specs = Lineup_spec.Specs
+module Mevent = Lineup_monitor.Mevent
+module Engine = Lineup_monitor.Engine
+module Driver = Lineup_monitor.Driver
+module Ingest = Lineup_monitor.Ingest
+
+let verdict : Monitor.verdict Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Monitor.Accept -> Fmt.string ppf "Accept"
+      | Monitor.Reject -> Fmt.string ppf "Reject"
+      | Monitor.Unsupported r -> Fmt.pf ppf "Unsupported %S" r)
+    ( = )
+
+(* ---------------- NDJSON codec ---------------- *)
+
+let event_gen =
+  let open QCheck.Gen in
+  let* tid = int_bound 7 and* op_index = int_bound 99 in
+  let* is_call = bool in
+  if is_call then
+    let* name = oneofl [ "Enqueue"; "TryDequeue"; "Add"; "weird name \"x\"\\" ] in
+    let* arg = value_gen in
+    return (Event.call ~tid ~op_index (inv ~arg name))
+  else
+    let* v = value_gen in
+    return (Event.return ~tid ~op_index v)
+
+let event_arb = QCheck.make ~print:(Fmt.to_to_string Event.pp) event_gen
+
+let codec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"render/parse round-trips any event" ~count:500
+       QCheck.(pair event_arb (option (int_bound 1000)))
+       (fun (ev, hist) ->
+         match Mevent.parse (Mevent.render ?hist ev) with
+         | Mevent.Ev { hist = h; event } -> h = hist && Event.equal event ev
+         | _ -> false))
+
+let codec_units =
+  [
+    test "codec: blank and whitespace lines" (fun () ->
+        Alcotest.(check bool) "empty" true (Mevent.parse "" = Mevent.Blank);
+        Alcotest.(check bool) "spaces" true (Mevent.parse "   \t " = Mevent.Blank));
+    test "codec: non-event lines are skipped, not errors" (fun () ->
+        (* a raw check --trace interleaves scheduler/pool records *)
+        let skippable =
+          [
+            {|{"t":1.0,"ev":"monitor.tick","ops":12}|};
+            {|{"t":1.0,"ev":"pool.task"}|};
+            {|{"no_ev_field":true}|};
+          ]
+        in
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) l true (Mevent.parse l = Mevent.Skip))
+          skippable);
+    test "codec: malformed lines are malformed" (fun () ->
+        let is_malformed l =
+          match Mevent.parse l with Mevent.Malformed _ -> true | _ -> false
+        in
+        Alcotest.(check bool) "not json" true (is_malformed "{not json");
+        Alcotest.(check bool) "no tid" true
+          (is_malformed {|{"ev":"call","op":0,"name":"Enqueue"}|});
+        Alcotest.(check bool) "no name" true
+          (is_malformed {|{"ev":"call","tid":0,"op":0}|});
+        Alcotest.(check bool) "bad value image" true
+          (is_malformed {|{"ev":"ret","tid":0,"op":0,"val":"<junk>"}|}));
+    test "codec: missing arg decodes as Unit" (fun () ->
+        match Mevent.parse {|{"ev":"call","tid":1,"op":2,"name":"TryPop"}|} with
+        | Mevent.Ev { event; hist } ->
+          Alcotest.(check bool) "no hist" true (hist = None);
+          Alcotest.(check bool) "is unit call" true
+            (Event.equal event (call 1 2 "TryPop" ()))
+        | _ -> Alcotest.fail "expected an event");
+  ]
+
+(* ---------------- streaming engines vs the offline monitors ---------------- *)
+
+(* same synthetic generators as test_membership.ml: random well-formed
+   complete two-thread histories, with rejecting answers on purpose *)
+let interleave rng ops =
+  let cols = [| ref []; ref [] |] in
+  List.iter (fun op -> let c = cols.(Random.State.int rng 2) in c := op :: !c) ops;
+  let pending = Array.map (fun c -> ref (List.rev !c)) cols in
+  let in_flight = [| None; None |] in
+  let next_index = [| 0; 0 |] in
+  let events = ref [] in
+  let moves_left () =
+    Array.exists Option.is_some in_flight || Array.exists (fun p -> !p <> []) pending
+  in
+  while moves_left () do
+    let tid = Random.State.int rng 2 in
+    match in_flight.(tid) with
+    | Some resp ->
+      events := ret tid next_index.(tid) resp :: !events;
+      in_flight.(tid) <- None;
+      next_index.(tid) <- next_index.(tid) + 1
+    | None -> (
+      match !(pending.(tid)) with
+      | [] -> ()
+      | (i, resp) :: rest ->
+        events := Event.call ~tid ~op_index:next_index.(tid) i :: !events;
+        in_flight.(tid) <- Some resp;
+        pending.(tid) := rest)
+  done;
+  List.rev !events
+
+let random_lifo_fifo_ops rng ~insert ~remove =
+  let n = 2 + Random.State.int rng 5 in
+  let kinds = List.init n (fun i -> i, Random.State.bool rng) in
+  let inserts =
+    List.filter_map (fun (i, k) -> if k then Some (100 * (i + 1)) else None) kinds
+  in
+  List.map
+    (fun (i, k) ->
+      if k then inv_int insert (100 * (i + 1)), Value.unit
+      else
+        let resp =
+          if inserts = [] || Random.State.int rng 3 = 0 then Value.Fail
+          else Value.int (List.nth inserts (Random.State.int rng (List.length inserts)))
+        in
+        inv remove, resp)
+    kinds
+
+let seed_arb = QCheck.make QCheck.Gen.small_signed_int
+
+let stream_of_cls ~min_batch = function
+  | Spec.Queue -> Monitor.Stream.create_queue ~min_batch ()
+  | Spec.Stack -> Monitor.Stream.create_stack ~min_batch ()
+  | _ -> assert false
+
+let stream_verdict ~cls ~min_batch events =
+  let s = stream_of_cls ~min_batch cls in
+  List.iter (Monitor.Stream.feed s) events;
+  Monitor.Stream.finalize s
+
+let stream_agrees ~name ~cls ~insert ~remove =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:500 seed_arb (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let events = interleave rng (random_lifo_fifo_ops rng ~insert ~remove) in
+         let offline = Monitor.check ~cls (history events) in
+         (* min_batch 1 windows at every quiescent point — the most GC
+            pressure possible; both must equal the offline verdict *)
+         stream_verdict ~cls ~min_batch:1 events = offline
+         && stream_verdict ~cls ~min_batch:4 events = offline))
+
+let stream_props =
+  [
+    stream_agrees ~name:"queue stream agrees with the offline monitor"
+      ~cls:Spec.Queue ~insert:"Enqueue" ~remove:"TryDequeue";
+    stream_agrees ~name:"stack stream agrees with the offline monitor"
+      ~cls:Spec.Stack ~insert:"Push" ~remove:"TryPop";
+  ]
+
+(* ---------------- Kmon vs the Wing–Gong oracle ---------------- *)
+
+let random_set_ops rng =
+  let n = 2 + Random.State.int rng 5 in
+  List.init n (fun _ ->
+      let name = List.nth [ "Add"; "Remove"; "Contains" ] (Random.State.int rng 3) in
+      let key = 1 + Random.State.int rng 2 in
+      inv_int name key, Value.bool (Random.State.bool rng))
+
+let random_counter_ops rng =
+  let n = 2 + Random.State.int rng 4 in
+  List.init n (fun _ ->
+      match Random.State.int rng 3 with
+      | 0 -> inv "Inc", Value.unit
+      | 1 -> inv "Get", Value.int (Random.State.int rng 3)
+      | _ -> inv_int "Set" (Random.State.int rng 2), Value.unit)
+
+let kmon_verdict ~spec ~keyed ~chunk events =
+  let k = Kmon.create spec ~keyed ~chunk ~max_window:1_048_576 in
+  List.iter k.Kmon.feed events;
+  k.Kmon.finalize ()
+
+let kmon_agrees ~name ~spec ~keyed ~gen =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:500 seed_arb (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let events = interleave rng (gen rng) in
+         let oracle =
+           match Lin_check.check_outcome spec (history events) with
+           | `Linearizable -> Monitor.Accept
+           | `Not_linearizable -> Monitor.Reject
+           | `Unsupported r -> Monitor.Unsupported r
+         in
+         (* chunk 1 closes a chunk at every quiescent point, maximally
+            exercising the feasible-state propagation *)
+         kmon_verdict ~spec ~keyed ~chunk:1 events = oracle
+         && kmon_verdict ~spec ~keyed ~chunk:4 events = oracle))
+
+let kmon_props =
+  [
+    kmon_agrees ~name:"keyed Kmon agrees with the oracle on set histories"
+      ~spec:Specs.key_set ~keyed:true ~gen:random_set_ops;
+    kmon_agrees ~name:"unkeyed Kmon agrees with the oracle on counter histories"
+      ~spec:Specs.counter ~keyed:false ~gen:random_counter_ops;
+  ]
+
+let kmon_units =
+  let feed_serial k entries =
+    List.iteri
+      (fun op_index (i, resp) ->
+        k.Kmon.feed (Event.call ~tid:0 ~op_index i);
+        k.Kmon.feed (Event.return ~tid:0 ~op_index resp))
+      entries
+  in
+  [
+    test "kmon: violation across a chunk boundary is caught" (fun () ->
+        (* chunk 1: Add(1)=true closes alone; the stale Contains(1)=false
+           must be rejected via the propagated feasible state *)
+        let k = Kmon.create Specs.key_set ~keyed:true ~chunk:1 ~max_window:64 in
+        feed_serial k
+          [
+            inv_int "Add" 1, Value.bool true;
+            inv_int "Contains" 1, Value.bool false;
+          ];
+        Alcotest.check verdict "rejected" Monitor.Reject (k.Kmon.finalize ());
+        Alcotest.(check bool) "two chunks" true (k.Kmon.chunks () >= 1));
+    test "kmon: consistent reads across chunk boundaries accepted" (fun () ->
+        let k = Kmon.create Specs.key_set ~keyed:true ~chunk:1 ~max_window:64 in
+        feed_serial k
+          [
+            inv_int "Add" 1, Value.bool true;
+            inv_int "Contains" 1, Value.bool true;
+            inv_int "Remove" 1, Value.bool true;
+            inv_int "Contains" 1, Value.bool false;
+          ];
+        Alcotest.check verdict "accepted" Monitor.Accept (k.Kmon.finalize ()));
+    test "kmon: keys are independent" (fun () ->
+        (* a violation on key 2 must not be masked by clean key 1 traffic *)
+        let k = Kmon.create Specs.key_set ~keyed:true ~chunk:1 ~max_window:64 in
+        feed_serial k
+          [
+            inv_int "Add" 1, Value.bool true;
+            inv_int "Contains" 2, Value.bool true;
+            inv_int "Contains" 1, Value.bool true;
+          ];
+        Alcotest.check verdict "rejected" Monitor.Reject (k.Kmon.finalize ()));
+    test "kmon: no quiescent point within max_window is Unsupported" (fun () ->
+        let k = Kmon.create Specs.counter ~keyed:false ~chunk:2 ~max_window:4 in
+        (* five overlapping Incs: call all, then return all — no quiescent
+           point until far past the window bound *)
+        for i = 0 to 4 do
+          k.Kmon.feed (Event.call ~tid:0 ~op_index:i (inv "Inc"))
+        done;
+        for i = 0 to 4 do
+          k.Kmon.feed (Event.return ~tid:0 ~op_index:i Value.unit)
+        done;
+        (match k.Kmon.finalize () with
+         | Monitor.Unsupported _ -> ()
+         | v -> Alcotest.failf "expected Unsupported, got %a" (Alcotest.pp verdict) v));
+    test "kmon: shed op degrades only its key" (fun () ->
+        let k = Kmon.create Specs.key_set ~keyed:true ~chunk:1 ~max_window:64 in
+        k.Kmon.shed
+          ~call:(Event.call ~tid:1 ~op_index:0 (inv_int "Add" 1))
+          ~ret:(Event.return ~tid:1 ~op_index:0 (Value.bool true));
+        feed_serial k
+          [
+            (* key 1 is now amnestied: this inconsistent pair is excused *)
+            inv_int "Contains" 1, Value.bool true;
+            (* key 2 is not: its violation must still be caught *)
+            inv_int "Add" 2, Value.bool true;
+            inv_int "Contains" 2, Value.bool false;
+          ];
+        Alcotest.check verdict "rejected" Monitor.Reject (k.Kmon.finalize ()));
+  ]
+
+(* ---------------- windowed GC: memory bound and degradation ---------------- *)
+
+(* a deterministic bounded-occupancy producer/consumer queue stream: the
+   live set never exceeds [occupancy], so windowed GC must keep resident
+   state small no matter how long the stream runs *)
+let bounded_stream ~n ~occupancy =
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let bag = Queue.create () in
+  let next = ref 0 in
+  let op = Array.make 2 0 in
+  let complete tid i resp =
+    let op_index = op.(tid) in
+    op.(tid) <- op_index + 1;
+    emit (Event.call ~tid ~op_index i);
+    emit (Event.return ~tid ~op_index resp)
+  in
+  for k = 1 to n do
+    if Queue.length bag < occupancy && (k mod 2 = 0 || Queue.is_empty bag) then begin
+      incr next;
+      Queue.add !next bag;
+      complete 0 (inv_int "Enqueue" !next) Value.unit
+    end
+    else complete 1 (inv "TryDequeue") (Value.int (Queue.pop bag))
+  done;
+  List.rev !events
+
+let gc_units =
+  [
+    test "stream: long run keeps resident state bounded" (fun () ->
+        let s = Monitor.Stream.create_queue ~min_batch:64 () in
+        let peak = ref 0 in
+        List.iteri
+          (fun i ev ->
+            Monitor.Stream.feed s ev;
+            if i mod 256 = 0 then
+              peak := max !peak (Monitor.Stream.resident s))
+          (bounded_stream ~n:50_000 ~occupancy:8);
+        Alcotest.check verdict "accepted" Monitor.Accept (Monitor.Stream.finalize s);
+        Alcotest.(check bool) "many windows" true (Monitor.Stream.windows s > 50);
+        (* 50k ops retained in full would be ~50000; windowing keeps the
+           tracked set near the window size + live occupancy *)
+        Alcotest.(check bool)
+          (Printf.sprintf "resident peak %d <= 256" !peak)
+          true (!peak <= 256);
+        Alcotest.(check bool) "interval-compressed diets" true
+          (Monitor.Stream.intervals s <= 8));
+    test "stream: no quiescent point within max_window is Unsupported" (fun () ->
+        let s = Monitor.Stream.create_queue ~min_batch:4 ~max_window:16 () in
+        (* op (1,0) never returns, so no window can ever close *)
+        Monitor.Stream.feed s (call 1 0 "TryDequeue" ());
+        for i = 0 to 20 do
+          Monitor.Stream.feed s (call 0 i "Enqueue" ~arg:(Value.int (i + 1)) ());
+          Monitor.Stream.feed s (ret 0 i Value.unit)
+        done;
+        match Monitor.Stream.verdict_now s with
+        | Some (Monitor.Unsupported _) -> ()
+        | Some v -> Alcotest.failf "expected Unsupported, got %a" (Alcotest.pp verdict) v
+        | None -> Alcotest.fail "window bound not enforced");
+    test "stream: shed insert amnesties its retained remove" (fun () ->
+        let s = Monitor.Stream.create_queue ~min_batch:1 () in
+        Monitor.Stream.shed s
+          ~call:(call 0 0 "Enqueue" ~arg:(Value.int 5) ())
+          ~ret:(ret 0 0 Value.unit);
+        (* the remove of the shed value survived in the stream: accept-lean
+           means this must NOT reject *)
+        Monitor.Stream.feed s (call 1 0 "TryDequeue" ());
+        Monitor.Stream.feed s (ret 1 0 (Value.int 5));
+        Alcotest.check verdict "accepted" Monitor.Accept (Monitor.Stream.finalize s);
+        Alcotest.(check int) "one shed" 1 (Monitor.Stream.sheds s));
+    test "stream: reject is sticky and survives later clean traffic" (fun () ->
+        let s = Monitor.Stream.create_queue ~min_batch:1 () in
+        let feed_complete i v resp_ins =
+          Monitor.Stream.feed s (call 0 i "Enqueue" ~arg:(Value.int v) ());
+          Monitor.Stream.feed s (ret 0 i resp_ins)
+        in
+        feed_complete 0 1 Value.unit;
+        feed_complete 1 2 Value.unit;
+        (* FIFO inversion *)
+        Monitor.Stream.feed s (call 1 0 "TryDequeue" ());
+        Monitor.Stream.feed s (ret 1 0 (Value.int 2));
+        Monitor.Stream.feed s (call 1 1 "TryDequeue" ());
+        Monitor.Stream.feed s (ret 1 1 (Value.int 1));
+        Alcotest.(check bool) "decided mid-stream" true
+          (Monitor.Stream.verdict_now s = Some Monitor.Reject);
+        feed_complete 2 3 Value.unit;
+        Alcotest.check verdict "still rejected" Monitor.Reject
+          (Monitor.Stream.finalize s));
+  ]
+
+(* ---------------- the driver over NDJSON files ---------------- *)
+
+let write_lines lines =
+  let path = Filename.temp_file "lineup_test_monitor" ".ndjson" in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  path
+
+let with_file lines f =
+  let path = write_lines lines in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic))
+
+let queue_spec = Spec.Packed Specs.queue
+
+let render_history ?hist events = List.map (Mevent.render ?hist) events
+
+let accepting_events =
+  [
+    call 0 0 "Enqueue" ~arg:(Value.int 1) (); ret 0 0 Value.unit;
+    call 0 1 "Enqueue" ~arg:(Value.int 2) (); ret 0 1 Value.unit;
+    call 1 0 "TryDequeue" (); ret 1 0 (Value.int 1);
+    call 1 1 "TryDequeue" (); ret 1 1 (Value.int 2);
+  ]
+
+let rejecting_events =
+  [
+    call 0 0 "Enqueue" ~arg:(Value.int 1) (); ret 0 0 Value.unit;
+    call 0 1 "Enqueue" ~arg:(Value.int 2) (); ret 0 1 Value.unit;
+    call 1 0 "TryDequeue" (); ret 1 0 (Value.int 2);
+    call 1 1 "TryDequeue" (); ret 1 1 (Value.int 1);
+  ]
+
+let driver_units =
+  let opts = { Driver.default_opts with min_batch = 1 } in
+  [
+    test "driver: accepting stream" (fun () ->
+        with_file (render_history accepting_events) (fun ic ->
+            let o = Driver.run ~spec:queue_spec ~opts ic in
+            Alcotest.check verdict "accept" Monitor.Accept o.Driver.verdict;
+            Alcotest.(check int) "ops" 4 o.Driver.ops));
+    test "driver: rejecting stream" (fun () ->
+        with_file (render_history rejecting_events) (fun ic ->
+            let o = Driver.run ~spec:queue_spec ~opts ic in
+            Alcotest.check verdict "reject" Monitor.Reject o.Driver.verdict));
+    test "driver: malformed line settles Unsupported" (fun () ->
+        with_file [ {|{"ev":"call","tid":0|} ] (fun ic ->
+            let o = Driver.run ~spec:queue_spec ~opts ic in
+            match o.Driver.verdict with
+            | Monitor.Unsupported _ -> ()
+            | v -> Alcotest.failf "expected Unsupported, got %a" (Alcotest.pp verdict) v));
+    test "driver: skippable lines and blanks are transparent" (fun () ->
+        let lines =
+          ({|{"ev":"scheduler.step","t":0.1}|} :: "" :: render_history accepting_events)
+          @ [ {|{"ev":"pool.done"}|} ]
+        in
+        with_file lines (fun ic ->
+            let o = Driver.run ~spec:queue_spec ~opts ic in
+            Alcotest.check verdict "accept" Monitor.Accept o.Driver.verdict));
+    test "driver: keyed stream shards across domains" (fun () ->
+        let events =
+          List.concat_map
+            (fun k ->
+              [
+                Event.call ~tid:0 ~op_index:k (inv_int "Add" k);
+                Event.return ~tid:0 ~op_index:k (Value.bool true);
+              ])
+            (List.init 8 (fun k -> k))
+        in
+        with_file (render_history events) (fun ic ->
+            let o =
+              Driver.run ~spec:(Spec.Packed Specs.key_set)
+                ~opts:{ opts with domains = 2 } ic
+            in
+            Alcotest.check verdict "accept" Monitor.Accept o.Driver.verdict;
+            Alcotest.(check int) "sharded" 2 o.Driver.shards));
+    test "replay: groups by hist tag, rejects if any history rejects" (fun () ->
+        let lines =
+          render_history ~hist:0 accepting_events
+          @ render_history ~hist:1 rejecting_events
+          @ render_history ~hist:2 accepting_events
+        in
+        with_file lines (fun ic ->
+            let per_hist, o = Driver.replay ~spec:queue_spec ~opts ic in
+            Alcotest.(check int) "three histories" 3 (List.length per_hist);
+            Alcotest.check verdict "combined" Monitor.Reject o.Driver.verdict;
+            Alcotest.check verdict "hist 1" Monitor.Reject
+              (List.assoc (Some 1) per_hist);
+            Alcotest.check verdict "hist 0" Monitor.Accept
+              (List.assoc (Some 0) per_hist)));
+    test "replay: interleaved hist tags are demultiplexed" (fun () ->
+        (* events of two histories arrive interleaved, as a sharded
+           checker's trace would record them *)
+        let tag h evs = render_history ~hist:h evs in
+        let l0 = tag 0 accepting_events and l1 = tag 1 accepting_events in
+        let lines = List.concat (List.map2 (fun a b -> [ a; b ]) l0 l1) in
+        with_file lines (fun ic ->
+            let per_hist, o = Driver.replay ~spec:queue_spec ~opts ic in
+            Alcotest.(check int) "two histories" 2 (List.length per_hist);
+            Alcotest.check verdict "combined" Monitor.Accept o.Driver.verdict));
+  ]
+
+(* ---------------- engine dispatch ---------------- *)
+
+let engine_units =
+  [
+    test "engine: any registered spec is monitorable" (fun () ->
+        List.iter
+          (fun name ->
+            let spec = Option.get (Specs.find name) in
+            let e = Engine.create ~spec ~min_batch:4 ~max_window:1024 in
+            Alcotest.check verdict
+              (name ^ " empty stream accepts")
+              Monitor.Accept (Engine.finalize e))
+          Specs.names);
+  ]
+
+let tests =
+  List.concat
+    [
+      [ codec_roundtrip ];
+      codec_units;
+      stream_props;
+      kmon_props;
+      kmon_units;
+      gc_units;
+      driver_units;
+      engine_units;
+      [ QCheck_alcotest.to_alcotest
+          (QCheck.Test.make ~name:"driver agrees with the offline checker"
+             ~count:60 seed_arb (fun seed ->
+               let rng = Random.State.make [| seed |] in
+               let events =
+                 interleave rng
+                   (random_lifo_fifo_ops rng ~insert:"Enqueue" ~remove:"TryDequeue")
+               in
+               let offline = Monitor.check ~cls:Spec.Queue (history events) in
+               with_file (render_history events) (fun ic ->
+                   let o =
+                     Driver.run ~spec:queue_spec
+                       ~opts:{ Driver.default_opts with min_batch = 1 }
+                       ic
+                   in
+                   o.Driver.verdict = offline)));
+      ];
+    ]

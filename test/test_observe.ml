@@ -166,4 +166,101 @@ let suite =
                   !lines)));
   ]
 
-let tests = suite
+(* -------- the NDJSON parser, non-finite floats, atomic writes -------- *)
+
+module Ndjson = Lineup_observe.Ndjson
+module Atomic_file = Lineup_observe.Atomic_file
+
+let crash_path_suite =
+  [
+    test "ndjson: parses the trace vocabulary" (fun () ->
+        let ok s = match Ndjson.parse s with Ok j -> j | Error e -> Alcotest.fail e in
+        let j = ok {|{"t":1.5,"ev":"call","tid":0,"op":3,"name":"A \"b\"","neg":-2,"u":"é"}|} in
+        Alcotest.(check (option int)) "tid" (Some 0)
+          (Option.bind (Ndjson.member "tid" j) Ndjson.to_int);
+        Alcotest.(check (option int)) "op" (Some 3)
+          (Option.bind (Ndjson.member "op" j) Ndjson.to_int);
+        Alcotest.(check (option int)) "neg" (Some (-2))
+          (Option.bind (Ndjson.member "neg" j) Ndjson.to_int);
+        Alcotest.(check (option string)) "escaped name" (Some {|A "b"|})
+          (Option.bind (Ndjson.member "name" j) Ndjson.to_str);
+        Alcotest.(check (option string)) "unicode escape" (Some "\xc3\xa9")
+          (Option.bind (Ndjson.member "u" j) Ndjson.to_str);
+        ignore (ok {|[1, 2.5, true, false, null, "x", {}]|});
+        ignore (ok {|{"nested":{"a":[{"b":1}]}}|}));
+    test "ndjson: rejects malformed input" (fun () ->
+        let bad s =
+          match Ndjson.parse s with Ok _ -> Alcotest.failf "parsed %S" s | Error _ -> ()
+        in
+        List.iter bad
+          [ ""; "{"; "{\"a\":}"; "tru"; "1 2"; "{\"a\":1,}"; "\"unterminated";
+            "{\"a\" 1}"; "nan" ]);
+    test "ndjson: to_int only on exact integers" (fun () ->
+        let geti s = Option.bind (Result.to_option (Ndjson.parse s)) Ndjson.to_int in
+        Alcotest.(check (option int)) "int" (Some 7) (geti "7");
+        Alcotest.(check (option int)) "fraction" None (geti "7.25");
+        Alcotest.(check (option int)) "too big for exact float" None (geti "1e300"));
+    test "trace: non-finite floats are emitted as null" (fun () ->
+        (* crash-path regression: "%f" would print "nan"/"inf", which is
+           not JSON — a monitor replaying the trace would abort *)
+        with_temp_file (fun path ->
+            Trace.enable ~path;
+            Fun.protect ~finally:Trace.close (fun () ->
+                Trace.emit "x"
+                  [ "a", Trace.Float Float.nan;
+                    "b", Trace.Float Float.infinity;
+                    "c", Trace.Float 1.5;
+                  ];
+                let ic = open_in path in
+                let line = input_line ic in
+                close_in ic;
+                match Ndjson.parse line with
+                | Error e -> Alcotest.failf "unparseable trace line %S: %s" line e
+                | Ok j ->
+                  Alcotest.(check bool) "nan is null" true
+                    (Ndjson.member "a" j = Some Ndjson.Null);
+                  Alcotest.(check bool) "inf is null" true
+                    (Ndjson.member "b" j = Some Ndjson.Null);
+                  Alcotest.(check bool) "finite survives" true
+                    (match Ndjson.member "c" j with
+                     | Some (Ndjson.Num f) -> f = 1.5
+                     | _ -> false))));
+    test "atomic_file: complete content, no temp residue" (fun () ->
+        with_temp_file (fun path ->
+            Atomic_file.write ~path "first";
+            Atomic_file.write ~path "second version";
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            Alcotest.(check string) "last write wins, complete" "second version" s;
+            let dir = Filename.dirname path and base = Filename.basename path in
+            let residue =
+              Array.to_list (Sys.readdir dir)
+              |> List.filter (fun f ->
+                     String.length f > String.length base
+                     && String.sub f 0 (String.length base) = base)
+            in
+            Alcotest.(check (list string)) "no tmp files left" [] residue));
+    test "metrics: write_file is atomic (never a partial JSON)" (fun () ->
+        (* kill-durability regression for the truncate-then-write bug: a
+           reader opening the path mid-write must always see a complete
+           JSON object — with rename-into-place it sees either the old or
+           the new version, never a prefix *)
+        with_temp_file (fun path ->
+            let m = Metrics.create () in
+            Metrics.add m "ops" 1 ;
+            Metrics.write_file m ~path;
+            for i = 2 to 20 do
+              Metrics.add m "ops" 1;
+              Metrics.write_file m ~path;
+              let ic = open_in_bin path in
+              let s = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              match Ndjson.parse s with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "partial metrics file at step %d: %s" i e
+            done));
+  ]
+
+let tests = suite @ crash_path_suite

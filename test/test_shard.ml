@@ -238,6 +238,72 @@ let wire_suite =
         Unix.close b);
   ]
 
+(* ---------------- EINTR on the blocking paths ---------------- *)
+
+(* Regression tests for [Wire]'s EINTR handling: OCaml installs signal
+   handlers without SA_RESTART, so any signal (a SIGCHLD from a finished
+   worker, a SIGALRM from a user's profiler) interrupts a blocking
+   [Unix.read]/[Unix.write] mid-frame. Before the fix, [read_exact]
+   returned a torn frame (recv [None] → the server declared a live worker
+   dead) and [write_all] raised [EINTR], killing the worker mid-send.
+   Here a repeating interval timer hammers the calling thread with
+   SIGALRM while the main domain blocks in recv/send. *)
+let with_sigalrm_storm f =
+  let prev = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let interval = { Unix.it_interval = 0.005; it_value = 0.005 } in
+  ignore (Unix.setitimer Unix.ITIMER_REAL interval);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = 0. });
+      Sys.set_signal Sys.sigalrm prev)
+    f
+
+let eintr_suite =
+  [
+    test "recv survives signals while blocked mid-frame" (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close a;
+            Unix.close b)
+          (fun () ->
+            let sender =
+              Domain.spawn (fun () ->
+                  (* long enough for several timer ticks to land while the
+                     main domain is parked inside Unix.read *)
+                  Unix.sleepf 0.15;
+                  Wire.send_to_server a (Wire.Failed { index = 3; message = "late" }))
+            in
+            with_sigalrm_storm (fun () ->
+                match Wire.recv_to_server b with
+                | Some (Wire.Failed { index; message }) ->
+                  Alcotest.(check int) "index" 3 index;
+                  Alcotest.(check string) "message" "late" message
+                | _ -> Alcotest.fail "frame lost to EINTR");
+            Domain.join sender));
+    test "send survives signals across a many-buffer payload" (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close a;
+            Unix.close b)
+          (fun () ->
+            (* far larger than a socket buffer, so write_all needs many
+               partial writes — each a chance to be interrupted *)
+            let payload = String.make (8 * 1024 * 1024) 'x' in
+            (* the payload dwarfs the socket buffer, so the sender blocks
+               on buffer space over and over while the drain catches up —
+               each block a chance for SIGALRM to interrupt the write *)
+            let receiver = Domain.spawn (fun () -> Wire.recv_to_server b) in
+            with_sigalrm_storm (fun () ->
+                Wire.send_to_server a (Wire.Failed { index = 0; message = payload }));
+            match Domain.join receiver with
+            | Some (Wire.Failed { message; _ }) ->
+              Alcotest.(check int) "payload intact" (String.length payload)
+                (String.length message)
+            | _ -> Alcotest.fail "large frame lost"));
+  ]
+
 (* ---------------- merge determinism ---------------- *)
 
 let merge_suite =
@@ -335,4 +401,4 @@ let merge_suite =
               (contains (Fmt.str "\"checkpoint_hits\": %d" (List.length parts)))));
   ]
 
-let tests = store_suite @ wire_suite @ merge_suite
+let tests = store_suite @ wire_suite @ eintr_suite @ merge_suite
