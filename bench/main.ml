@@ -33,7 +33,7 @@ let () =
         "N  run Figure N (1|7|9)" );
       ( "--section",
         Arg.String (select (fun s -> sel.sections <- s :: sel.sections)),
-        "S  run Section S (5.5|5.6|5.7|parallel|por|membership|shard|monitor)" );
+        "S  run Section S (5.5|5.6|5.7|parallel|por|membership|shard|monitor|memory)" );
       ( "--ablation",
         Arg.String (select (fun s -> sel.ablations <- s :: sel.ablations)),
         "A  run ablation A (pb|sampling|stress|phase1|icb|dedup)" );
@@ -81,6 +81,7 @@ let () =
   if want_section "membership" then Membership_bench.run opts;
   if want_section "shard" then Shard_bench.run opts;
   if want_section "monitor" then Monitor_bench.run opts;
+  if want_section "memory" then Memory_bench.run opts;
   if want_ablation "pb" then Ablations.pb_sweep opts;
   if want_ablation "sampling" then Ablations.sampling opts;
   if want_ablation "stress" then Ablations.systematic_vs_stress opts;

@@ -99,9 +99,10 @@ let parse_column s =
   String.split_on_char ',' s |> List.filter (fun x -> String.trim x <> "")
   |> List.map parse_invocation
 
-let config_of ?(por = false) ?(membership = Check.Auto) ~pb ~cap ~classic () =
+let config_of ?(por = false) ?(membership = Check.Auto)
+    ?(memory = Lineup_runtime.Memory_model.Sc) ~pb ~cap ~classic () =
   Check.config_with ~preemption_bound:(Some pb) ~max_executions:cap ~classic_only:classic
-    ~membership ~por ()
+    ~membership ~por ~memory ()
 
 (* --cancel-after N: a deterministic cancellation token that fires after N
    polls — a testing aid exercising the Cancelled verdict and exit code. *)
@@ -114,14 +115,14 @@ let cancel_after = function
         incr polls;
         !polls > n)
 
-let check_cmd_run name columns pb cap classic por membership jobs frontier_depth cancel_polls
-    verbose cache_dir metrics_file trace_file =
+let check_cmd_run name columns pb cap classic por membership memory jobs frontier_depth
+    cancel_polls verbose cache_dir metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
     let test = Test_matrix.make (List.map parse_column columns) in
     let config =
-      let c = config_of ~por ~membership ~pb ~cap ~classic () in
+      let c = config_of ~por ~membership ~memory ~pb ~cap ~classic () in
       { c with Check.phase2_domains = jobs; phase2_frontier_depth = frontier_depth }
     in
     let cancelled = cancel_after cancel_polls in
@@ -137,12 +138,12 @@ let check_cmd_run name columns pb cap classic por membership jobs frontier_depth
     else if Check.cancelled r then `Ok exit_cancelled
     else `Ok exit_violation
 
-let random_cmd_run name rows cols samples seed pb cap por membership stop_at_first domains
-    metrics_file trace_file =
+let random_cmd_run name rows cols samples seed pb cap por membership memory stop_at_first
+    domains metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
-    let config = config_of ~por ~membership ~pb ~cap ~classic:false () in
+    let config = config_of ~por ~membership ~memory ~pb ~cap ~classic:false () in
     let report =
       with_observability ~metrics_file ~trace_file (fun metrics ->
           Random_check.run_parallel ~config ~stop_at_first ?metrics ~domains ~seed
@@ -158,14 +159,14 @@ let random_cmd_run name rows cols samples seed pb cap por membership stop_at_fir
      | None -> ());
     if report.Random_check.failed = 0 then `Ok 0 else `Ok exit_violation
 
-let auto_cmd_run name max_tests pb cap por membership domains metrics_file trace_file =
+let auto_cmd_run name max_tests pb cap por membership memory domains metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     match
       with_observability ~metrics_file ~trace_file (fun metrics ->
           Auto_check.run
-            ~config:(config_of ~por ~membership ~pb ~cap ~classic:false ())
+            ~config:(config_of ~por ~membership ~memory ~pb ~cap ~classic:false ())
             ~domains ?metrics ~max_tests adapter)
     with
     | Auto_check.Failed { test; result; tests_run; stats } ->
@@ -190,12 +191,12 @@ let observe_cmd_run name columns output =
      | None -> Fmt.pr "%s@." xml);
     `Ok 0
 
-let minimize_cmd_run name columns pb membership cancel_polls =
+let minimize_cmd_run name columns pb membership memory cancel_polls =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     let test = Test_matrix.make (List.map parse_column columns) in
-    let config = config_of ~membership ~pb ~cap:None ~classic:false () in
+    let config = config_of ~membership ~memory ~pb ~cap:None ~classic:false () in
     let cancelled = cancel_after cancel_polls in
     match Minimize.reduce ~config ?cancelled adapter test with
     | r when Check.cancelled r.Minimize.check ->
@@ -210,7 +211,8 @@ let minimize_cmd_run name columns pb membership cancel_polls =
       `Ok 0
     | exception Invalid_argument msg -> `Error (false, msg))
 
-let compare_cmd_run name columns por membership jobs frontier_depth tso metrics_file trace_file =
+let compare_cmd_run name columns por membership memory jobs frontier_depth tso metrics_file
+    trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter ->
@@ -228,7 +230,7 @@ let compare_cmd_run name columns por membership jobs frontier_depth tso metrics_
     let config =
       {
         Check.default_config with
-        Check.phase2 = { Check.default_config.Check.phase2 with Explore.por };
+        Check.phase2 = { Check.default_config.Check.phase2 with Explore.por; memory };
         membership;
         phase2_domains = jobs;
         phase2_frontier_depth = frontier_depth;
@@ -249,14 +251,14 @@ let compare_cmd_run name columns por membership jobs frontier_depth tso metrics_
    socket, checkpoints completed partitions into --dir, and merges in
    frontier order — the report, verdict, exit code and --metrics file are
    byte-identical to `check -j` on the same arguments. *)
-let shard_server_cmd_run name columns pb cap classic por membership frontier_depth dir listen
-    local resume halt_after verbose metrics_file trace_file =
+let shard_server_cmd_run name columns pb cap classic por membership memory frontier_depth dir
+    listen local resume halt_after verbose metrics_file trace_file =
   match find_adapter name with
   | Error e -> `Error (false, e)
   | Ok adapter -> (
     let test = Test_matrix.make (List.map parse_column columns) in
     let config =
-      let c = config_of ~por ~membership ~pb ~cap ~classic () in
+      let c = config_of ~por ~membership ~memory ~pb ~cap ~classic () in
       { c with Check.phase2_frontier_depth = frontier_depth }
     in
     match
@@ -401,6 +403,30 @@ let membership_arg =
            the distinct-history count and $(b,check.phase2.histories_fingerprint) are \
            identical — only wall-clock time changes.")
 
+let memory_conv =
+  let parse s =
+    match Lineup_runtime.Memory_model.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "expected sc, tso or pso, got %S" s))
+  in
+  Arg.conv ~docv:"MODEL" (parse, Lineup_runtime.Memory_model.pp)
+
+let memory_arg =
+  Arg.(
+    value
+    & opt memory_conv Lineup_runtime.Memory_model.Sc
+    & info [ "memory" ] ~docv:"MODEL"
+        ~doc:
+          "Memory model for phase 2: $(b,sc) (default — sequential consistency, byte-identical \
+           to previous releases), $(b,tso) (total store order: one FIFO store buffer per \
+           thread, reads forward from the own buffer, buffer flushes are scheduler choices), \
+           or $(b,pso) (partial store order: one buffer per thread and location, so stores to \
+           different locations also reorder). Atomic read-modify-writes, lock and condition \
+           operations, and $(b,Rt.fence) drain the issuing thread's buffers; every buffer \
+           drains before an operation returns, so histories stay complete and the verdict is \
+           sound for the chosen model. Phase 1 (the serial specification runs) is always \
+           sequentially consistent.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Full report output.")
 
 let domain_count =
@@ -495,8 +521,8 @@ let check_cmd =
     Term.(
       ret
         (const check_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg $ por_arg
-         $ membership_arg $ check_jobs_arg $ frontier_depth_arg $ cancel_after_arg $ verbose_arg
-         $ cache_dir_arg $ metrics_arg $ trace_arg))
+         $ membership_arg $ memory_arg $ check_jobs_arg $ frontier_depth_arg $ cancel_after_arg
+         $ verbose_arg $ cache_dir_arg $ metrics_arg $ trace_arg))
 
 let random_cmd =
   let rows = Arg.(value & opt int 3 & info [ "rows" ] ~doc:"Operations per thread.") in
@@ -510,7 +536,7 @@ let random_cmd =
     Term.(
       ret
         (const random_cmd_run $ name_arg $ rows $ cols $ samples $ seed $ pb_arg $ cap_arg
-         $ por_arg $ membership_arg $ stop $ jobs_arg $ metrics_arg $ trace_arg))
+         $ por_arg $ membership_arg $ memory_arg $ stop $ jobs_arg $ metrics_arg $ trace_arg))
 
 let auto_cmd =
   let max_tests =
@@ -522,7 +548,7 @@ let auto_cmd =
     Term.(
       ret
         (const auto_cmd_run $ name_arg $ max_tests $ pb_arg $ cap_arg $ por_arg $ membership_arg
-         $ jobs_arg $ metrics_arg $ trace_arg))
+         $ memory_arg $ jobs_arg $ metrics_arg $ trace_arg))
 
 let observe_cmd =
   let output =
@@ -538,7 +564,7 @@ let minimize_cmd =
        ~doc:"Shrink a failing test matrix to a local minimum")
     Term.(
       ret (const minimize_cmd_run $ name_arg $ columns_arg $ pb_arg $ membership_arg
-           $ cancel_after_arg))
+           $ memory_arg $ cancel_after_arg))
 
 let compare_cmd =
   let tso_arg =
@@ -563,7 +589,7 @@ let compare_cmd =
           informational — the paper's false alarms on lock-free code), 2 when cancelled.")
     Term.(
       ret
-        (const compare_cmd_run $ name_arg $ columns_arg $ por_arg $ membership_arg
+        (const compare_cmd_run $ name_arg $ columns_arg $ por_arg $ membership_arg $ memory_arg
          $ check_jobs_arg $ frontier_depth_arg
          $ tso_arg $ metrics_arg $ trace_arg))
 
@@ -630,8 +656,8 @@ let shard_server_cmd =
     Term.(
       ret
         (const shard_server_cmd_run $ name_arg $ columns_arg $ pb_arg $ cap_arg $ classic_arg
-         $ por_arg $ membership_arg $ frontier_depth_arg $ dir_arg $ listen_arg $ local_arg
-         $ resume_arg $ halt_after_arg $ verbose_arg $ metrics_arg $ trace_arg))
+         $ por_arg $ membership_arg $ memory_arg $ frontier_depth_arg $ dir_arg $ listen_arg
+         $ local_arg $ resume_arg $ halt_after_arg $ verbose_arg $ metrics_arg $ trace_arg))
 
 let shard_worker_cmd =
   let connect_arg =
@@ -685,7 +711,7 @@ let verdict_name = function
   | Lineup_spec.Monitor.Reject -> "VIOLATION"
   | Lineup_spec.Monitor.Unsupported reason -> "UNSUPPORTED: " ^ reason
 
-let monitor_cmd_run spec_name file replay jobs min_batch max_window queue_cap on_full
+let monitor_cmd_run spec_name file replay follow jobs min_batch max_window queue_cap on_full
     report_every metrics_file trace_file =
   match Lineup_spec.Specs.find spec_name with
   | None ->
@@ -693,6 +719,8 @@ let monitor_cmd_run spec_name file replay jobs min_batch max_window queue_cap on
       ( false,
         Fmt.str "unknown specification %S (expected one of: %s)" spec_name
           (String.concat ", " Lineup_spec.Specs.names) )
+  | Some _ when replay && follow ->
+    `Error (false, "--follow waits for more writers; --replay needs a finite recording")
   | Some spec -> (
     let opts =
       {
@@ -702,6 +730,7 @@ let monitor_cmd_run spec_name file replay jobs min_batch max_window queue_cap on
         queue_cap;
         on_full;
         report_every;
+        follow;
       }
     in
     let run_on ic =
@@ -786,6 +815,16 @@ let monitor_cmd =
              over $(b,-j) domains). The exit code agrees with the offline checker on the same \
              histories — the CI equivalence gate.")
   in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Re-arm on end-of-file instead of finalizing: on a FIFO, EOF only means every \
+             current writer closed, so the monitor waits for the next writer session and keeps \
+             checking across sessions. A followed run ends only on a verdict (exit 1 or 3), \
+             never by stream end; incompatible with $(b,--replay).")
+  in
   let monitor_jobs_arg =
     Arg.(
       value
@@ -851,9 +890,9 @@ let monitor_cmd =
           the rest), with windowed GC keeping memory bounded over unbounded streams")
     Term.(
       ret
-        (const monitor_cmd_run $ spec_pos $ file_pos $ replay_arg $ monitor_jobs_arg
-       $ min_batch_arg $ max_window_arg $ queue_cap_arg $ on_full_arg $ report_every_arg
-       $ metrics_arg $ trace_arg))
+        (const monitor_cmd_run $ spec_pos $ file_pos $ replay_arg $ follow_arg
+       $ monitor_jobs_arg $ min_batch_arg $ max_window_arg $ queue_cap_arg $ on_full_arg
+       $ report_every_arg $ metrics_arg $ trace_arg))
 
 let main =
   let man =

@@ -101,7 +101,9 @@ let analyze ~threads log =
       | Exec_ctx.Access a -> handle_plain a.tid a.loc a.loc_name a.kind
       | Exec_ctx.Lock_acquire l -> acquire_from lock_vc l.tid l.lock
       | Exec_ctx.Lock_release l -> release_to lock_vc l.tid l.lock
-      | Exec_ctx.Op_start _ | Exec_ctx.Op_end _ -> ())
+      (* a fence orders the issuing thread's own stores; it pairs with no
+         other thread, so it adds no happens-before edge *)
+      | Exec_ctx.Fence _ | Exec_ctx.Op_start _ | Exec_ctx.Op_end _ -> ())
     log;
   (* deduplicate by the canonical key *)
   let seen = Hashtbl.create 16 in

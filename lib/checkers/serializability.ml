@@ -36,7 +36,7 @@ let collect_accesses log =
         match Hashtbl.find_opt current a.tid with
         | Some op_index -> Some { txn = a.tid, op_index; loc = a.loc; kind = a.kind }
         | None -> None (* setup/observer access outside any transaction *))
-      | Exec_ctx.Lock_acquire _ | Exec_ctx.Lock_release _ -> None)
+      | Exec_ctx.Fence _ | Exec_ctx.Lock_acquire _ | Exec_ctx.Lock_release _ -> None)
     log
 
 let analyze log =

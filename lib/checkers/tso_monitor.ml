@@ -99,6 +99,7 @@ let analyze ~threads log =
       | Exec_ctx.Lock_release l ->
         release_to lock_vc l.tid l.lock;
         push l.tid `Fence
+      | Exec_ctx.Fence f -> push f.tid `Fence
       | Exec_ctx.Op_start _ | Exec_ctx.Op_end _ -> ())
     log;
   let streams = List.rev !streams in

@@ -1,6 +1,7 @@
 module Value = Lineup_value.Value
 module Invocation = Lineup_history.Invocation
 module Var = Lineup_runtime.Shared_var
+module Var_array = Lineup_runtime.Var_array
 module Mutex_ = Lineup_runtime.Mutex_
 module Rt = Lineup_runtime.Rt
 open Util
@@ -121,9 +122,7 @@ let max_threads = 4
 
 let segmented =
   let create () =
-    let segments =
-      Array.init max_threads (fun i -> Var.make ~name:(Fmt.str "bcs.seg%d" i) [])
-    in
+    let segments = Var_array.make ~name:"bcs.seg" max_threads [] in
     let locks =
       Array.init max_threads (fun i -> Mutex_.create ~name:(Fmt.str "bcs.lock%d" i) ())
     in
@@ -134,7 +133,7 @@ let segmented =
       else begin
         let me = own () in
         Mutex_.with_lock locks.(me) (fun () ->
-            Var.write segments.(me) (Var.read segments.(me) @ [ x ]));
+            Var_array.write segments me (Var_array.read segments me @ [ x ]));
         Value.unit
       end
     in
@@ -144,10 +143,10 @@ let segmented =
       | j :: rest ->
         if Mutex_.try_acquire locks.(j) then begin
           let r =
-            match Var.read segments.(j) with
+            match Var_array.read segments j with
             | [] -> None
             | x :: tail ->
-              Var.write segments.(j) tail;
+              Var_array.write segments j tail;
               Some (Value.int x)
           in
           Mutex_.release locks.(j);
@@ -161,9 +160,9 @@ let segmented =
       let j = ref 0 in
       while Option.is_none !found && !j < max_threads do
         Mutex_.acquire locks.(!j);
-        (match Var.read segments.(!j) with
+        (match Var_array.read segments !j with
          | x :: tail ->
-           Var.write segments.(!j) tail;
+           Var_array.write segments !j tail;
            found := Some x
          | [] -> ());
         Mutex_.release locks.(!j);
@@ -176,8 +175,10 @@ let segmented =
         else begin
           Rt.block
             ~wake:(fun () ->
-              Var.peek completed
-              || Array.exists (fun s -> Var.peek s <> []) segments)
+              let rec nonempty j =
+                j < max_threads && (Var_array.peek segments j <> [] || nonempty (j + 1))
+              in
+              Var.peek completed || nonempty 0)
             "item available or adding completed";
           take ()
         end
@@ -186,13 +187,12 @@ let segmented =
        (root cause I). *)
     let count () =
       let total = ref 0 in
-      Array.iteri
-        (fun j seg ->
-          if Mutex_.try_acquire locks.(j) then begin
-            total := !total + List.length (Var.read seg);
-            Mutex_.release locks.(j)
-          end)
-        segments;
+      for j = 0 to max_threads - 1 do
+        if Mutex_.try_acquire locks.(j) then begin
+          total := !total + List.length (Var_array.read segments j);
+          Mutex_.release locks.(j)
+        end
+      done;
       !total
     in
     let with_all f =
@@ -216,15 +216,18 @@ let segmented =
         with_all (fun () ->
             Value.list
               (List.concat_map
-                 (fun s -> List.map Value.int (Var.read s))
-                 (Array.to_list segments)))
+                 (fun j -> List.map Value.int (Var_array.read segments j))
+                 (List.init max_threads Fun.id)))
       | "CompleteAdding", Value.Unit ->
         Var.write completed true;
         Value.unit
       | "IsAddingCompleted", Value.Unit -> Value.bool (Var.read completed)
       | "IsCompleted", Value.Unit ->
         with_all (fun () ->
-            Value.bool (Var.read completed && Array.for_all (fun s -> Var.read s = []) segments))
+            let rec empty j =
+              j >= max_threads || (Var_array.read segments j = [] && empty (j + 1))
+            in
+            Value.bool (Var.read completed && empty 0))
       | _ -> unexpected "BlockingCollection" i
     in
     { Lineup.Adapter.invoke }

@@ -1,6 +1,6 @@
 module Value = Lineup_value.Value
 module Invocation = Lineup_history.Invocation
-module Var = Lineup_runtime.Shared_var
+module Var_array = Lineup_runtime.Var_array
 module Mutex_ = Lineup_runtime.Mutex_
 module Rt = Lineup_runtime.Rt
 open Util
@@ -12,9 +12,7 @@ let universe =
 
 let adapter =
   let create () =
-    let segments =
-      Array.init max_threads (fun i -> Var.make ~name:(Fmt.str "bag.seg%d" i) [])
-    in
+    let segments = Var_array.make ~name:"bag.seg" max_threads [] in
     let locks = Array.init max_threads (fun i -> Mutex_.create ~name:(Fmt.str "bag.lock%d" i) ()) in
     let own () = Rt.self () mod max_threads in
     let scan_order () =
@@ -28,10 +26,10 @@ let adapter =
       | j :: rest ->
         if Mutex_.try_acquire locks.(j) then begin
           let r =
-            match Var.read segments.(j) with
+            match Var_array.read segments j with
             | [] -> None
             | x :: tail ->
-              if remove then Var.write segments.(j) tail;
+              if remove then Var_array.write segments j tail;
               Some (Value.int x)
           in
           Mutex_.release locks.(j);
@@ -50,22 +48,30 @@ let adapter =
       | "Add", Value.Int x ->
         let me = own () in
         Mutex_.with_lock locks.(me) (fun () ->
-            Var.write segments.(me) (x :: Var.read segments.(me)));
+            Var_array.write segments me (x :: Var_array.read segments me));
         Value.unit
       | "TryTake", Value.Unit -> scan ~remove:true (scan_order ())
       | "TryPeek", Value.Unit -> scan ~remove:false (scan_order ())
       | "Count", Value.Unit ->
         with_all_locks (fun () ->
-            Value.int (Array.fold_left (fun acc s -> acc + List.length (Var.read s)) 0 segments))
+            let n = ref 0 in
+            for j = 0 to max_threads - 1 do
+              n := !n + List.length (Var_array.read segments j)
+            done;
+            Value.int !n)
       | "IsEmpty", Value.Unit ->
         with_all_locks (fun () ->
-            Value.bool (Array.for_all (fun s -> Var.read s = []) segments))
+            (* short-circuits like Array.for_all did: same read sequence *)
+            let rec empty j =
+              j >= max_threads || (Var_array.read segments j = [] && empty (j + 1))
+            in
+            Value.bool (empty 0))
       | "ToArray", Value.Unit ->
         with_all_locks (fun () ->
             Value.list
               (List.concat_map
-                 (fun s -> List.map Value.int (Var.read s))
-                 (Array.to_list segments)))
+                 (fun j -> List.map Value.int (Var_array.read segments j))
+                 (List.init max_threads Fun.id)))
       | _ -> unexpected "ConcurrentBag" i
     in
     { Lineup.Adapter.invoke }

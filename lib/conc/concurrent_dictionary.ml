@@ -1,6 +1,7 @@
 module Value = Lineup_value.Value
 module Invocation = Lineup_history.Invocation
 module Var = Lineup_runtime.Shared_var
+module Var_array = Lineup_runtime.Var_array
 module Mutex_ = Lineup_runtime.Mutex_
 open Util
 
@@ -23,9 +24,7 @@ let universe =
 
 let make_adapter ~atomic_clear name =
   let create () =
-    let buckets =
-      Array.init stripes (fun i -> Var.make ~name:(Fmt.str "dict.bucket%d" i) [])
-    in
+    let buckets = Var_array.make ~name:"dict.bucket" stripes [] in
     let locks =
       Array.init stripes (fun i -> Mutex_.create ~name:(Fmt.str "dict.lock%d" i) ())
     in
@@ -33,7 +32,7 @@ let make_adapter ~atomic_clear name =
     let stripe k = k / 10 mod stripes in
     let with_stripe k f =
       Mutex_.with_lock locks.(stripe k) (fun () ->
-          let b = buckets.(stripe k) in
+          let b = Var_array.cell buckets (stripe k) in
           f b)
     in
     let with_all f =
@@ -81,22 +80,31 @@ let make_adapter ~atomic_clear name =
         with_stripe k (fun b -> Value.bool (List.mem_assoc k (Var.read b)))
       | "Count", Value.Unit ->
         with_all (fun () ->
-            Value.int (Array.fold_left (fun acc b -> acc + List.length (Var.read b)) 0 buckets))
+            let n = ref 0 in
+            for s = 0 to stripes - 1 do
+              n := !n + List.length (Var_array.read buckets s)
+            done;
+            Value.int !n)
       | "IsEmpty", Value.Unit ->
-        with_all (fun () -> Value.bool (Array.for_all (fun b -> Var.read b = []) buckets))
+        with_all (fun () ->
+            (* short-circuits like Array.for_all did: same read sequence *)
+            let rec empty s = s >= stripes || (Var_array.read buckets s = [] && empty (s + 1)) in
+            Value.bool (empty 0))
       | "Clear", Value.Unit ->
         if atomic_clear then
           with_all (fun () ->
-              Array.iter (fun b -> Var.write b []) buckets;
+              for s = 0 to stripes - 1 do
+                Var_array.write buckets s []
+              done;
               Value.unit)
         else begin
           (* BUG (root cause O): stripes cleared one lock at a time — a
              concurrent TryAdd to an already-cleared stripe survives the
              Clear, so Count can be nonzero right after Clear returned with
              no intervening Add *)
-          Array.iteri
-            (fun i b -> Mutex_.with_lock locks.(i) (fun () -> Var.write b []))
-            buckets;
+          for s = 0 to stripes - 1 do
+            Mutex_.with_lock locks.(s) (fun () -> Var_array.write buckets s [])
+          done;
           Value.unit
         end
       | _ -> unexpected "ConcurrentDictionary" i

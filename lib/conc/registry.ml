@@ -87,6 +87,15 @@ let all =
       ~defect:"inc is an unsynchronized read-modify-write (Section 2.2.1)" ~min_dims:(1, 2)
       "Counter" Counters.buggy_unlocked;
     entry ~version:`Beta2 ~expected:Pass "Counter" Counters.correct;
+    (* the store->load litmus: SC-correct, weak-memory-sensitive. Both
+       variants pass the default (sequentially consistent) sweep; the
+       fence-free one loses updates only under `--memory tso`/`pso`. *)
+    entry ~version:`Beta2 ~expected:Pass "Dekker" Dekker.fenced;
+    entry ~version:`Pre ~expected:Pass
+      ~defect:
+        "enter omits the store->load fence: mutual exclusion fails under TSO (visible to \
+         --memory tso/pso only — every SC interleaving passes)"
+      ~min_dims:(2, 2) "Dekker" Dekker.fence_free;
   ]
 
 let table2_rows = all

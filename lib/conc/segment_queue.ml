@@ -1,14 +1,15 @@
 module Value = Lineup_value.Value
 module Invocation = Lineup_history.Invocation
 module Var = Lineup_runtime.Shared_var
+module Var_array = Lineup_runtime.Var_array
 module Rt = Lineup_runtime.Rt
 open Util
 
 let capacity = 2
 
 type segment = {
-  values : int Var.t array;  (* plain: ordered by the committed flags *)
-  committed : bool Var.t array;
+  values : int Var_array.t;  (* plain: ordered by the committed flags *)
+  committed : bool Var_array.t;
   low : int Var.t;  (* next slot to dequeue *)
   high : int Var.t;  (* next slot to enqueue-reserve *)
   next : segment option Var.t;
@@ -16,9 +17,8 @@ type segment = {
 
 let new_segment () =
   {
-    values = Array.init capacity (fun i -> Var.make ~name:(Fmt.str "seg.val%d" i) 0);
-    committed =
-      Array.init capacity (fun i -> Var.make ~volatile:true ~name:(Fmt.str "seg.c%d" i) false);
+    values = Var_array.make ~name:"seg.val" capacity 0;
+    committed = Var_array.make ~volatile:true ~name:"seg.c" capacity false;
     low = Var.make ~volatile:true ~name:"seg.low" 0;
     high = Var.make ~volatile:true ~name:"seg.high" 0;
     next = Var.make ~volatile:true ~name:"seg.next" None;
@@ -38,8 +38,8 @@ let adapter =
       if i < capacity then begin
         if Var.cas s.high i (i + 1) then begin
           (* slot i reserved: fill, then commit *)
-          Var.write s.values.(i) x;
-          Var.write s.committed.(i) true
+          Var_array.write s.values i x;
+          Var_array.write s.committed i true
         end
         else begin
           Rt.yield ();
@@ -60,7 +60,7 @@ let adapter =
     (* wait for a reserved slot to be committed; the reserving enqueuer is
        guaranteed to commit, so this terminates under fair scheduling *)
     let await_commit s i =
-      while not (Var.read s.committed.(i)) do
+      while not (Var_array.read s.committed i) do
         Rt.yield ()
       done
     in
@@ -80,7 +80,7 @@ let adapter =
       else if Var.cas s.low i (i + 1) then begin
         (* won slot i *)
         await_commit s i;
-        Value.int (Var.read s.values.(i))
+        Value.int (Var_array.read s.values i)
       end
       else begin
         Rt.yield ();
@@ -105,7 +105,7 @@ let adapter =
         (* the slot may have been dequeued meanwhile; the value cell is
            written once, so reading it is still the value enqueued there,
            and linearizing the peek before that dequeue justifies it *)
-        Value.int (Var.read s.values.(i))
+        Value.int (Var_array.read s.values i)
       end
     in
     let is_empty () =

@@ -44,7 +44,8 @@ let default_config =
 
 let config_with ?preemption_bound ?max_executions ?(classic_only = false)
     ?(membership = default_config.membership) ?phase2_domains
-    ?(frontier_depth = default_config.phase2_frontier_depth) ?(por = false) () =
+    ?(frontier_depth = default_config.phase2_frontier_depth) ?(por = false)
+    ?(memory = Lineup_runtime.Memory_model.Sc) () =
   let phase2 = default_config.phase2 in
   let phase2 =
     match preemption_bound with
@@ -56,9 +57,11 @@ let config_with ?preemption_bound ?max_executions ?(classic_only = false)
     | Some cap -> { phase2 with Explore.max_executions = cap }
     | None -> phase2
   in
-  (* POR applies to phase 2 only: phase 1's serial enumeration is the
-     specification synthesis and must see every serial order (§4.3). *)
-  let phase2 = { phase2 with Explore.por } in
+  (* POR and the memory model apply to phase 2 only: phase 1's serial
+     enumeration is the specification synthesis and must see every serial
+     order (§4.3) — and the sequential specification is memory-model
+     independent, so it always runs SC. *)
+  let phase2 = { phase2 with Explore.por; memory } in
   {
     default_config with
     phase2;
@@ -67,6 +70,8 @@ let config_with ?preemption_bound ?max_executions ?(classic_only = false)
     phase2_domains;
     phase2_frontier_depth = frontier_depth;
   }
+
+let memory config = config.phase2.Explore.memory
 
 type violation =
   | Nondeterministic of Serial_history.t * Serial_history.t

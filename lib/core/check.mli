@@ -68,11 +68,16 @@ type config = {
 val default_config : config
 
 (** [config_with ?preemption_bound ?max_executions ?classic_only
-    ?phase2_domains ?frontier_depth ?por ()] derives a configuration from
-    {!default_config}; [max_executions] bounds phase 2 only (per partition
-    when the frontier path is active). [por] (default [false]) enables
-    dynamic partial-order reduction in phase 2; phase 1's serial
-    enumeration is never reduced (completeness, §4.3). *)
+    ?phase2_domains ?frontier_depth ?por ?memory ()] derives a configuration
+    from {!default_config}; [max_executions] bounds phase 2 only (per
+    partition when the frontier path is active). [por] (default [false])
+    enables dynamic partial-order reduction in phase 2; phase 1's serial
+    enumeration is never reduced (completeness, §4.3). [memory] (default
+    [Sc]) selects the simulated memory model of the phase-2 exploration
+    ([--memory sc|tso|pso]): under [Tso]/[Pso] the explorer enumerates
+    store-buffer behaviours (buffered writes, scheduler-chosen flush points)
+    and linearizability is checked over them; phase 1 always synthesizes
+    the specification under SC. *)
 val config_with :
   ?preemption_bound:int option ->
   ?max_executions:int option ->
@@ -81,8 +86,12 @@ val config_with :
   ?phase2_domains:int ->
   ?frontier_depth:int ->
   ?por:bool ->
+  ?memory:Lineup_runtime.Memory_model.t ->
   unit ->
   config
+
+val memory : config -> Lineup_runtime.Memory_model.t
+(** The phase-2 memory model ([config.phase2.memory]). *)
 
 type violation =
   | Nondeterministic of Lineup_history.Serial_history.t * Lineup_history.Serial_history.t

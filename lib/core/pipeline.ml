@@ -20,6 +20,9 @@ let add_explore_stats m ~prefix (s : Explore.stats) =
   c "pruned_choices" s.Explore.pruned_choices;
   c "preemptions" s.Explore.preemptions_spent;
   c "yields" s.Explore.yields;
+  (* Conditional: SC explorations never flush, and their metrics files must
+     stay byte-identical to the pre-weak-memory output. *)
+  if s.Explore.flushes > 0 then c "flushes" s.Explore.flushes;
   c "choice_points" s.Explore.choice_points;
   c "exact_bound_skips" s.Explore.exact_bound_skips;
   c "por.sleep_set_skips" s.Explore.sleep_set_skips;

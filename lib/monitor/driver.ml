@@ -24,6 +24,7 @@ type opts = {
   queue_cap : int;
   on_full : Ingest.policy;
   report_every : int;
+  follow : bool;
 }
 
 let default_opts =
@@ -34,6 +35,7 @@ let default_opts =
     queue_cap = 65536;
     on_full = Ingest.Block;
     report_every = 0;
+    follow = false;
   }
 
 type outcome = {
@@ -64,14 +66,23 @@ let combine verdicts =
   in
   go None verdicts
 
-let spawn_reader queue ic =
+let spawn_reader ~follow queue ic =
   Domain.spawn (fun () ->
       let rec loop () =
         match input_line ic with
         | line ->
           Ingest.push_line queue (Mevent.parse line);
           loop ()
-        | exception End_of_file -> ()
+        | exception End_of_file ->
+          (* --follow: an EOF on a FIFO only means every current writer
+             closed — re-arm and wait for the next writer session instead
+             of finalizing, so the monitor outlives its producers. The
+             queue then only closes on a hard error (or not at all: a
+             followed stream ends by verdict, never by EOF). *)
+          if follow then begin
+            Unix.sleepf 0.05;
+            loop ()
+          end
         | exception Sys_error e -> Ingest.push_line queue (Mevent.Malformed e)
       in
       loop ();
@@ -84,7 +95,7 @@ let run ~spec ~opts ?metrics ic =
         Engine.create ~spec ~min_batch:opts.min_batch ~max_window:opts.max_window)
   in
   let queue = Ingest.create ~cap:opts.queue_cap opts.on_full in
-  let reader = spawn_reader queue ic in
+  let reader = spawn_reader ~follow:opts.follow queue ic in
   (* (tid, op_index) -> shard, recorded at the call, consumed at the return *)
   let route_tbl : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
   let shard_of_call (inv : Invocation.t) =

@@ -10,11 +10,16 @@ type opts = {
   queue_cap : int;  (** ingest queue bound *)
   on_full : Ingest.policy;  (** backpressure policy at the bound *)
   report_every : int;  (** progress tick interval in events; 0 = off *)
+  follow : bool;
+      (** re-arm the reader on EOF instead of finalizing: an EOF on a FIFO
+          only means every current writer closed, so the monitor waits for
+          the next writer session. A followed run ends by verdict
+          ([Reject] / [Unsupported]), never by stream end. *)
 }
 
 val default_opts : opts
 (** 1 domain, [min_batch] 512, [max_window] 1_048_576, queue 65536,
-    [Block], no ticks. *)
+    [Block], no ticks, no follow. *)
 
 type outcome = {
   verdict : Lineup_spec.Monitor.verdict;

@@ -22,6 +22,10 @@ type entry =
   | Lock_release of { tid : int; lock : int; name : string }
   | Op_start of { tid : int; op_index : int }
   | Op_end of { tid : int; op_index : int }
+  | Fence of { tid : int }
+      (** an explicit [Rt.fence] — a full store barrier. Logged so
+          order-sensitive analyses (the Section 5.7 store-buffering
+          monitor) can tell fenced code from fence-free code. *)
 
 (** [reset ()] clears all per-execution state. Called by the scheduler before
     each execution. *)
@@ -33,6 +37,52 @@ val fresh_loc : unit -> int
 
 val set_current_tid : int -> unit
 val current_tid : unit -> int
+
+(** {2 Store buffers (weak memory)}
+
+    Under {!Memory_model.Tso}/{!Memory_model.Pso} the scheduler simulates
+    hardware store buffers. A {e flush unit} is one FIFO buffer it can flush
+    the oldest entry from: one per thread under TSO, one per (thread,
+    location) pair under PSO. Units are registered on first write and keep
+    their index for the rest of the execution, so unit indices are
+    deterministic across replays of the same decision prefix. Under
+    {!Memory_model.Sc} no unit is ever created and every buffer query is
+    trivially empty. *)
+
+(** [set_memory m] selects the simulated memory model and discards all
+    buffered writes. Only the scheduler calls this — around the scheduled
+    part of an execution — so inline contexts ({!Rt.run_inline}: adapter
+    construction, test setup, the final observer) always run under [Sc]. *)
+val set_memory : Memory_model.t -> unit
+
+val memory : unit -> Memory_model.t
+
+(** [buffer_push ~loc ~loc_name ~commit] appends a pending store by the
+    current thread to the appropriate flush unit (creating it on first use).
+    [commit] performs the globally visible effect when the entry is flushed. *)
+val buffer_push : loc:int -> loc_name:string -> commit:(unit -> unit) -> unit
+
+(** Number of registered flush units (including currently empty ones —
+    indices are never recycled within an execution). *)
+val flush_unit_count : unit -> int
+
+(** Owning thread of a flush unit. *)
+val flush_unit_owner : int -> int
+
+(** [flush_unit_pending u] is the (location id, location name) of the oldest
+    buffered store in unit [u], or [None] if the unit is empty. *)
+val flush_unit_pending : int -> (int * string) option
+
+(** [flush_one u] commits the oldest buffered store of unit [u] to shared
+    memory. Raises [Invalid_argument] if the unit is empty. *)
+val flush_one : int -> unit
+
+(** [buffer_empty tid] holds when thread [tid] has no pending buffered
+    stores in any unit. Always true under [Sc]. *)
+val buffer_empty : int -> bool
+
+(** No pending buffered stores in any unit. Always true under [Sc]. *)
+val buffers_all_empty : unit -> bool
 
 (** Access logging is off by default (exploration-speed); the comparison
     checkers enable it. *)

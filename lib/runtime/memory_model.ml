@@ -1,0 +1,11 @@
+type t = Sc | Tso | Pso
+
+let to_string = function Sc -> "sc" | Tso -> "tso" | Pso -> "pso"
+
+let of_string = function
+  | "sc" -> Some Sc
+  | "tso" -> Some Tso
+  | "pso" -> Some Pso
+  | _ -> None
+
+let pp ppf m = Fmt.string ppf (to_string m)

@@ -1,0 +1,25 @@
+(** Memory models the runtime can simulate.
+
+    - [Sc]: sequential consistency. Every {!Shared_var.write} takes effect
+      immediately; the runtime behaves exactly as it did before store buffers
+      existed (no buffering code runs on any hot path).
+    - [Tso]: total store order (x86-like). Each thread owns one FIFO store
+      buffer; writes enqueue, and commit to shared memory only at
+      nondeterministic flush points chosen by the scheduler. Reads forward
+      from the thread's own buffer (youngest pending write to the location)
+      before falling back to memory. Program order between stores is
+      preserved globally.
+    - [Pso]: partial store order (SPARC PSO-like). Like [Tso] but each
+      (thread, location) pair gets its own FIFO buffer, so two stores by one
+      thread to different locations may commit in either order.
+
+    Atomic read-modify-writes ({!Shared_var.cas}, [fetch_and_add],
+    [exchange], [update] — and the lock/condvar operations built on them)
+    and explicit {!Rt.fence} drain the executing thread's buffers before
+    proceeding, under both weak models. *)
+
+type t = Sc | Tso | Pso
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,6 +1,7 @@
 type sched_reason =
   | Boundary
   | Return_boundary
+  | Fence
   | Access of {
       loc : int;
       loc_name : string;
@@ -18,6 +19,9 @@ let sched r =
   Effect.perform (Sched r);
   match r with
   | Boundary | Return_boundary -> ()
+  | Fence ->
+    if Exec_ctx.logging_enabled () then
+      Exec_ctx.log (Exec_ctx.Fence { tid = Exec_ctx.current_tid () })
   | Access a ->
     if Exec_ctx.logging_enabled () then
       Exec_ctx.log
@@ -31,6 +35,7 @@ let sched r =
            })
 
 let op_boundary () = sched Boundary
+let fence () = sched Fence
 let block ?(footprint = Footprint.unknown) ~wake what =
   if not (wake ()) then Effect.perform (Block (wake, what, footprint))
 let choose ?(what = "choice") n = Effect.perform (Choose (n, what))

@@ -19,6 +19,13 @@
       the partial-order reduction; in serial mode it is a no-op, so an
       operation runs atomically through its return and phase-1 histories
       stay serial.
+    - {!sched} with [Fence] is a store-barrier point. Under the SC memory
+      model it behaves like an ordinary [Boundary]; under TSO/PSO the
+      scheduler holds the thread until its store buffers have drained (the
+      flushes themselves are scheduler choices, so every drain interleaving
+      is explored). {!Shared_var} read-modify-writes get the same draining
+      treatment implicitly, which is what makes lock and condvar operations
+      fencing.
     - {!block} suspends the thread until a wake predicate holds; blocked
       threads are disabled, not spinning, so deadlocks are detected exactly
       (Definition 2 of the paper needs this).
@@ -33,6 +40,7 @@
 type sched_reason =
   | Boundary
   | Return_boundary
+  | Fence
   | Access of {
       loc : int;
       loc_name : string;
@@ -51,6 +59,12 @@ val sched : sched_reason -> unit
 
 (** [op_boundary ()] = [sched Boundary]. *)
 val op_boundary : unit -> unit
+
+(** [fence ()] = [sched Fence]: a full store barrier. A no-op under SC
+    (beyond being a scheduling point); under TSO/PSO the calling thread does
+    not proceed past it until every store it has buffered is globally
+    visible. *)
+val fence : unit -> unit
 
 (** [block ?footprint ~wake what] suspends the calling thread until
     [wake ()] holds. If the predicate already holds, returns immediately

@@ -8,7 +8,18 @@
 
     [volatile] marks cells whose accesses establish happens-before edges in
     the race detector (the disciplined-volatile pattern the paper observed in
-    the .NET implementations, Section 5.6). It does not change scheduling. *)
+    the .NET implementations, Section 5.6). It does not change scheduling.
+
+    Under the weak memory models ({!Memory_model.Tso}/[Pso], selected with
+    [--memory]) a {!write} does not take effect immediately: it enters the
+    calling thread's store buffer and commits to the shared cell only at a
+    scheduler-chosen flush point. {!read} and {!peek} forward from the
+    calling thread's own buffer (its youngest pending store to this cell)
+    before falling back to shared memory, so a thread always sees its own
+    program order. The read-modify-writes drain the calling thread's buffers
+    first (the scheduler enforces this at their scheduling point) and then
+    act on shared memory atomically. Under SC none of this machinery is
+    active and behaviour is exactly as before. *)
 
 type 'a t
 
@@ -32,11 +43,25 @@ val fetch_and_add : int t -> int -> int
 val exchange : 'a t -> 'a -> 'a
 
 (** [peek v] reads without a scheduling point or logging. For use inside
-    {!Rt.block} wake predicates and assertions only. *)
+    {!Rt.block} wake predicates and assertions only.
+
+    Weak-memory contract: [peek] sees exactly what {!read} would return for
+    the thread on whose behalf it is evaluated — it forwards from that
+    thread's own store buffer before consulting shared memory. The scheduler
+    evaluates wake predicates with {!Exec_ctx.current_tid} set to the blocked
+    thread, so a predicate like [fun () -> peek flag] observes the blocked
+    thread's view, never another thread's un-flushed stores. *)
 val peek : 'a t -> 'a
 
 (** [poke v x] writes without a scheduling point or logging. For use in
-    object constructors and test setup only. *)
+    object constructors and test setup only.
+
+    Weak-memory contract: [poke] stores straight to shared memory, bypassing
+    store buffers. That is sound only where no buffering can be active —
+    constructors and setup run inline ({!Rt.run_inline}) before the scheduler
+    enables a weak model — which is why its use is restricted to those
+    contexts. Calling [poke] from scheduled code under TSO/PSO would leak a
+    store past the thread's earlier buffered writes. *)
 val poke : 'a t -> 'a -> unit
 
 (** [update v f] atomically replaces the contents with [f (read v)] — a

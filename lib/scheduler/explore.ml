@@ -1,6 +1,7 @@
 module Rt = Lineup_runtime.Rt
 module Exec_ctx = Lineup_runtime.Exec_ctx
 module Footprint = Lineup_runtime.Footprint
+module Memory_model = Lineup_runtime.Memory_model
 
 type mode = Concurrent | Serial
 
@@ -10,6 +11,7 @@ type config = {
   max_steps : int;
   max_executions : int option;
   por : bool;
+  memory : Memory_model.t;
 }
 
 let default_config =
@@ -19,6 +21,7 @@ let default_config =
     max_steps = 50_000;
     max_executions = None;
     por = false;
+    memory = Memory_model.Sc;
   }
 
 let serial_config =
@@ -28,6 +31,7 @@ let serial_config =
     max_steps = 50_000;
     max_executions = None;
     por = false;
+    memory = Memory_model.Sc;
   }
 
 type exec_end =
@@ -41,6 +45,7 @@ type exec_outcome = {
   steps : int;
   preemptions : int;
   yields : int;
+  flushes : int;
   choice_points : int;
   errors : (int * exn) list;
   por_pruned : bool;
@@ -60,6 +65,7 @@ type stats = {
   exact_bound_skips : int;
   sleep_set_skips : int;
   backtrack_points : int;
+  flushes : int;
   complete : bool;
 }
 
@@ -85,6 +91,7 @@ let empty_stats =
     exact_bound_skips = 0;
     sleep_set_skips = 0;
     backtrack_points = 0;
+    flushes = 0;
     complete = true;
   }
 
@@ -103,6 +110,7 @@ let merge_stats a b =
     exact_bound_skips = a.exact_bound_skips + b.exact_bound_skips;
     sleep_set_skips = a.sleep_set_skips + b.sleep_set_skips;
     backtrack_points = a.backtrack_points + b.backtrack_points;
+    flushes = a.flushes + b.flushes;
     complete = a.complete && b.complete;
   }
 
@@ -189,6 +197,14 @@ type thread_state =
 let run_one cfg ~(decider : decider) ~pruned ~setup =
   Exec_ctx.reset ();
   let threads = Rt.run_inline setup in
+  (* Weak memory is a concurrent-mode concept: phase 1's serial enumeration
+     synthesizes the sequential specification, which is memory-model
+     independent, so serial exploration always runs SC. The model is active
+     only between here and the end of this execution — [Rt.run_inline]
+     contexts (setup above, the final observer after we return) see SC. *)
+  let memory = if cfg.mode = Serial then Memory_model.Sc else cfg.memory in
+  Exec_ctx.set_memory memory;
+  Fun.protect ~finally:(fun () -> Exec_ctx.set_memory Memory_model.Sc) @@ fun () ->
   let n = Array.length threads in
   let status = Array.make n Finished in
   let yielded = Array.make n false in
@@ -197,6 +213,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
   let preemptions = ref 0 in
   let steps = ref 0 in
   let yields = ref 0 in
+  let flushes = ref 0 in
   let choice_points = ref 0 in
   let errors = ref [] in
   let killing = ref false in
@@ -210,6 +227,22 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
       status.(i) <-
         Ready { resume = (fun () -> continue k ()); abort = (fun () -> discontinue k Killed); fp };
       last_voluntary := voluntary
+    in
+    (* A drain obligation: the thread may not take its next step until its
+       store buffers have emptied (via scheduler-chosen flushes). Used at
+       RMWs, fences and operation-return markers under TSO/PSO; the blocked
+       thread's pending footprint is that of the step it resumes into. *)
+    let suspend_drain ~what ~fp k =
+      status.(i) <-
+        Blocked
+          {
+            wake = (fun () -> Exec_ctx.buffer_empty i);
+            what;
+            resume = (fun () -> continue k ());
+            abort = (fun () -> discontinue k Killed);
+            fp;
+          };
+      last_voluntary := true
     in
     {
       retc =
@@ -230,14 +263,31 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
                 if !killing then continue k ()
                 else begin
                   match reason, cfg.mode with
-                  | (Rt.Access _ | Rt.Return_boundary), Serial ->
+                  | (Rt.Access _ | Rt.Return_boundary | Rt.Fence), Serial ->
                     (* no mid-operation scheduling in serial mode; an
                        operation runs atomically through its return *)
                     continue k ()
                   | Rt.Access a, Concurrent ->
-                    suspend ~voluntary:false ~fp:(Footprint.access ~loc:a.loc ~kind:a.kind) k
-                  | (Rt.Boundary | Rt.Return_boundary), Concurrent ->
-                    suspend ~voluntary:true ~fp:Footprint.event k
+                    let fp = Footprint.access ~loc:a.loc ~kind:a.kind in
+                    if
+                      a.kind = Exec_ctx.Rmw
+                      && memory <> Memory_model.Sc
+                      && not (Exec_ctx.buffer_empty i)
+                    then suspend_drain ~what:"store-buffer drain (rmw)" ~fp k
+                    else suspend ~voluntary:false ~fp k
+                  | Rt.Return_boundary, Concurrent ->
+                    (* Drain-at-return: an operation's return event becomes
+                       visible only once its stores are globally visible, so
+                       histories stay complete and the final observer reads
+                       fully flushed memory. *)
+                    if memory <> Memory_model.Sc && not (Exec_ctx.buffer_empty i) then
+                      suspend_drain ~what:"store-buffer drain (return)" ~fp:Footprint.event k
+                    else suspend ~voluntary:true ~fp:Footprint.event k
+                  | Rt.Fence, Concurrent ->
+                    if memory <> Memory_model.Sc && not (Exec_ctx.buffer_empty i) then
+                      suspend_drain ~what:"store-buffer drain (fence)" ~fp:Footprint.pure k
+                    else suspend ~voluntary:true ~fp:Footprint.pure k
+                  | Rt.Boundary, Concurrent -> suspend ~voluntary:true ~fp:Footprint.event k
                   | Rt.Boundary, Serial -> suspend ~voluntary:true ~fp:Footprint.event k
                 end)
           | Rt.Block (wake, what, fp) ->
@@ -299,12 +349,32 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
         | Finished -> ())
       status
   in
+  (* Wake predicates read shared state on behalf of the blocked thread;
+     under weak memory {!Shared_var.peek} forwards from the current thread's
+     store buffer, so the predicate must be evaluated with the blocked
+     thread's identity installed (satellite of the peek/poke audit: a
+     predicate must never observe another thread's un-flushed stores). *)
+  let wake_holds i wake =
+    let saved = Exec_ctx.current_tid () in
+    Exec_ctx.set_current_tid i;
+    let w = wake () in
+    Exec_ctx.set_current_tid saved;
+    w
+  in
+  (* Schedulable ids: real threads [0, n) plus one virtual flusher [n + u]
+     per non-empty flush unit [u]. Flush ids flow through decisions, sleep
+     sets and prefix serialization exactly like thread ids; unit indices are
+     registration-ordered, hence deterministic across replays. *)
   let enabled_threads () =
     let acc = ref [] in
+    if memory <> Memory_model.Sc then
+      for u = Exec_ctx.flush_unit_count () - 1 downto 0 do
+        if Option.is_some (Exec_ctx.flush_unit_pending u) then acc := (n + u) :: !acc
+      done;
     for i = n - 1 downto 0 do
       match status.(i) with
       | Ready _ -> acc := i :: !acc
-      | Blocked { wake; _ } -> if wake () then acc := i :: !acc
+      | Blocked { wake; _ } -> if wake_holds i wake then acc := i :: !acc
       | Finished -> ()
     done;
     !acc
@@ -319,9 +389,17 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
     !acc
   in
   let pending t =
-    match status.(t) with
-    | Ready { fp; _ } | Blocked { fp; _ } -> fp
-    | Finished -> Footprint.pure
+    if t >= n then
+      (* A flusher's next step commits its unit's oldest store: a write to
+         that store's location, which is what makes flush choices ordinary
+         conflicting choices for the reduction. *)
+      match Exec_ctx.flush_unit_pending (t - n) with
+      | Some (loc, _) -> Footprint.access ~loc ~kind:Exec_ctx.Write
+      | None -> Footprint.pure
+    else
+      match status.(t) with
+      | Ready { fp; _ } | Blocked { fp; _ } -> fp
+      | Finished -> Footprint.pure
   in
   let resume_thread i =
     match status.(i) with
@@ -373,19 +451,25 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
         end
       | _ :: _ ->
         (* Fairness: don't reschedule a yielded thread while a non-yielded
-           thread is enabled. *)
+           thread is enabled. Flushers (ids >= n) never yield. *)
         let candidates =
-          match List.filter (fun i -> not yielded.(i)) enabled with
+          match List.filter (fun i -> i >= n || not yielded.(i)) enabled with
           | [] -> enabled
           | non_yielded -> non_yielded
         in
-        (* Partition into free and costly (preempting) choices. *)
+        (* Partition into free and costly (preempting) choices. Flush
+           choices are always free: a flush runs no thread, so it neither
+           preempts the interrupted thread nor perturbs the preemption
+           accounting around it ([last_running]/[last_voluntary] are left
+           untouched when a flusher is chosen) — flush placement is explored
+           exhaustively at every preemption bound. *)
         let free, costly =
           if !last_voluntary then candidates, []
           else begin
             match !last_running with
             | Some t when List.mem t candidates ->
-              [ t ], List.filter (fun c -> c <> t) candidates
+              ( List.filter (fun c -> c = t || c >= n) candidates,
+                List.filter (fun c -> c <> t && c < n) candidates )
             | Some _ | None -> candidates, []
           end
         in
@@ -407,6 +491,20 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
           por_blocked := true;
           kill_all ();
           All_finished
+        | chosen when chosen >= n ->
+          (* A flush step: commit the unit's oldest buffered store. It is a
+             step for fairness (spinning threads get to re-run after it) but
+             is transparent to preemption accounting. Its end is voluntary
+             for the reduction's cost argument: a flush can move to any
+             position without changing the cost of any context switch. *)
+          if not (List.mem chosen free) then
+            Fmt.invalid_arg "Explore: replayed decision chose unschedulable flusher %d" chosen;
+          Array.iteri (fun j flag -> if flag then yielded.(j) <- false) yielded;
+          incr steps;
+          incr flushes;
+          Exec_ctx.flush_one (chosen - n);
+          decider.note_end ~voluntary:true;
+          loop ()
         | chosen ->
           if not (List.mem chosen free || List.mem chosen costly) then
             Fmt.invalid_arg "Explore: replayed decision chose unschedulable thread %d" chosen;
@@ -434,6 +532,7 @@ let run_one cfg ~(decider : decider) ~pruned ~setup =
     steps = !steps;
     preemptions = !preemptions;
     yields = !yields;
+    flushes = !flushes;
     choice_points = !choice_points;
     errors = List.rev !errors;
     por_pruned = !por_blocked;
@@ -699,15 +798,16 @@ let exec_end_label = function
 let trace_execution ~kind ~depth (o : exec_outcome) =
   if Lineup_observe.Trace.enabled () then
     Lineup_observe.Trace.emit "explore.execution"
-      [
-        "kind", Lineup_observe.Trace.Str kind;
-        "end", Lineup_observe.Trace.Str (exec_end_label o.exec_end);
-        "steps", Lineup_observe.Trace.Int o.steps;
-        "preemptions", Lineup_observe.Trace.Int o.preemptions;
-        "yields", Lineup_observe.Trace.Int o.yields;
-        "choice_points", Lineup_observe.Trace.Int o.choice_points;
-        "depth", Lineup_observe.Trace.Int depth;
-      ]
+      ([
+         "kind", Lineup_observe.Trace.Str kind;
+         "end", Lineup_observe.Trace.Str (exec_end_label o.exec_end);
+         "steps", Lineup_observe.Trace.Int o.steps;
+         "preemptions", Lineup_observe.Trace.Int o.preemptions;
+         "yields", Lineup_observe.Trace.Int o.yields;
+         "choice_points", Lineup_observe.Trace.Int o.choice_points;
+         "depth", Lineup_observe.Trace.Int depth;
+       ]
+      @ (if o.flushes > 0 then [ "flushes", Lineup_observe.Trace.Int o.flushes ] else []))
 
 let never_filtered (_ : exec_outcome) = true
 
@@ -738,6 +838,7 @@ let explore_replay cfg ?(admit = never_filtered) ~replay0 ~setup ~on_execution (
   let choice_points = ref 0 in
   let skips = ref 0 in
   let sleep_blocked = ref 0 in
+  let flushes = ref 0 in
   let backtracks = ref 0 in
   let complete = ref true in
   let replay = ref replay0 in
@@ -779,6 +880,7 @@ let explore_replay cfg ?(admit = never_filtered) ~replay0 ~setup ~on_execution (
       incr executions;
       preempt_spent := !preempt_spent + outcome.preemptions;
       yields := !yields + outcome.yields;
+      flushes := !flushes + outcome.flushes;
       choice_points := !choice_points + outcome.choice_points;
       (match outcome.exec_end with
        | Deadlock _ -> incr deadlocks
@@ -821,6 +923,7 @@ let explore_replay cfg ?(admit = never_filtered) ~replay0 ~setup ~on_execution (
     exact_bound_skips = !skips;
     sleep_set_skips = !sleep_blocked;
     backtrack_points = !backtracks;
+    flushes = !flushes;
     complete = !complete;
   }
 
@@ -958,6 +1061,7 @@ let split cfg ~depth ~setup ~on_execution =
   let pruned = ref 0 in
   let preempt_spent = ref 0 in
   let yields = ref 0 in
+  let flushes = ref 0 in
   let choice_points = ref 0 in
   let complete = ref true in
   let prefixes = ref [] in
@@ -982,6 +1086,7 @@ let split cfg ~depth ~setup ~on_execution =
     total_steps := !total_steps + outcome.steps;
     preempt_spent := !preempt_spent + outcome.preemptions;
     yields := !yields + outcome.yields;
+    flushes := !flushes + outcome.flushes;
     choice_points := !choice_points + outcome.choice_points;
     (match outcome.exec_end with
      | Deadlock _ -> incr deadlocks
@@ -1029,6 +1134,7 @@ let split cfg ~depth ~setup ~on_execution =
         exact_bound_skips = 0;
         sleep_set_skips = 0;
         backtrack_points = 0;
+        flushes = !flushes;
         complete = !complete;
       };
   }
@@ -1076,6 +1182,7 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
   let pruned = ref 0 in
   let preempt_spent = ref 0 in
   let yields = ref 0 in
+  let flushes = ref 0 in
   let choice_points = ref 0 in
   let continue_ = ref true in
   while !continue_ && !executions < target do
@@ -1094,6 +1201,7 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     total_steps := !total_steps + outcome.steps;
     preempt_spent := !preempt_spent + outcome.preemptions;
     yields := !yields + outcome.yields;
+    flushes := !flushes + outcome.flushes;
     choice_points := !choice_points + outcome.choice_points;
     (match outcome.exec_end with
      | Deadlock _ -> incr deadlocks
@@ -1119,5 +1227,6 @@ let random_walk cfg ~rng ~executions:target ~setup ~on_execution =
     exact_bound_skips = 0;
     sleep_set_skips = 0;
     backtrack_points = 0;
+    flushes = !flushes;
     complete = false;
   }

@@ -49,7 +49,30 @@
     cover its reorderings only if it was a free (non-preempting) choice
     whose step ended at a voluntary suspension, which guarantees the
     commuted witness never exceeds the budget at any prefix. Without a
-    bound the full lazy reduction applies. *)
+    bound the full lazy reduction applies.
+
+    {1 Weak memory}
+
+    With [config.memory] set to {!Lineup_runtime.Memory_model.Tso} or [Pso]
+    the explorer enumerates store-buffer behaviours directly: writes enter
+    per-thread (TSO) or per-thread-per-location (PSO) FIFO buffers, and each
+    non-empty buffer contributes a {e virtual flusher} — a schedulable id
+    [>= n] (for [n] test threads) whose step commits the buffer's oldest
+    store. Flush choices are ordinary choices: they appear in decision
+    traces, sleep sets and serialized prefixes ([sN] tokens with [N >= n]),
+    and carry a write footprint on the committed location so the reduction
+    orders them against conflicting accesses. They are always {e free} under
+    preemption bounding (a flush runs no thread, so it cannot preempt one),
+    which makes flush placement exhaustively explored at every bound.
+
+    Drain obligations keep executions well-formed: a thread at an RMW
+    scheduling point, an [Rt.Fence], or an operation-return marker with a
+    non-empty buffer is blocked until scheduler-chosen flushes drain it —
+    so RMWs and lock operations are fencing, and every operation's stores
+    are globally visible before its return event is recorded (histories
+    stay complete; the final observer reads fully flushed memory). Serial
+    mode (phase 1) always runs SC. Under the default [Sc] no buffering code
+    runs and exploration is exactly as before. *)
 
 type mode =
   | Concurrent
@@ -68,6 +91,9 @@ type config = {
   por : bool;
       (** dynamic partial-order reduction (concurrent mode only; ignored —
           a sound no-op — in serial mode) *)
+  memory : Lineup_runtime.Memory_model.t;
+      (** simulated memory model (concurrent mode only; serial mode always
+          runs SC — see the weak-memory section above) *)
 }
 
 val default_config : config
@@ -88,6 +114,7 @@ type exec_outcome = {
   steps : int;
   preemptions : int;
   yields : int;  (** [Rt.yield] suspensions (spin-loop iterations) *)
+  flushes : int;  (** store-buffer commits performed; [0] under SC *)
   choice_points : int;
       (** scheduling points where more than one continuation was
           schedulable — the decisions that actually branch the search *)
@@ -120,6 +147,7 @@ type stats = {
           ([por_pruned]); not counted in [executions] *)
   backtrack_points : int;
       (** backtracking alternatives added by the dynamic conflict analysis *)
+  flushes : int;  (** store-buffer commits, summed; [0] under SC *)
   complete : bool;
       (** the schedule space was exhausted (no budget cut, no early stop) *)
 }

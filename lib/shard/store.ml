@@ -3,7 +3,10 @@ module Test_matrix = Lineup.Test_matrix
 module Explore = Lineup_scheduler.Explore
 module Invocation = Lineup_history.Invocation
 
-let format_version = 1
+(* Version 2: the memory model entered [explore_fp] (a TSO sweep must never
+   resume from an SC checkpoint or vice versa) and [Explore.stats] grew the
+   [flushes] counter, changing the marshaled payload shape. *)
+let format_version = 2
 
 (* Same shape as Obs_cache's key: every knob that shapes the frontier, a
    partition's exploration, or the membership decisions. [phase2_domains]
@@ -21,6 +24,7 @@ let explore_fp (c : Explore.config) =
       string_of_int c.Explore.max_steps;
       opt c.Explore.max_executions;
       string_of_bool c.Explore.por;
+      Lineup_runtime.Memory_model.to_string c.Explore.memory;
     ]
 
 let test_key (test : Test_matrix.t) =

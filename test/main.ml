@@ -24,6 +24,7 @@ let () =
       "checkers", Test_checkers.tests;
       "pipeline", Test_pipeline.tests;
       "tso", Test_tso.tests;
+      "memory", Test_memory.tests;
       "cross-validation", Test_crossval.tests;
       "membership", Test_membership.tests;
       "shard", Test_shard.tests;

@@ -485,6 +485,53 @@ let driver_units =
               (List.assoc (Some 1) per_hist);
             Alcotest.check verdict "hist 0" Monitor.Accept
               (List.assoc (Some 0) per_hist)));
+    test "follow: reader re-arms across FIFO writer sessions" (fun () ->
+        (* Two separate writer sessions on one FIFO: the first closes its
+           end (EOF at the reader) after a clean prefix; under --follow the
+           monitor re-arms instead of finalizing Accept, so the second
+           session's out-of-order dequeues still settle Reject. The second
+           session continues the same logical stream — same engine state —
+           so it uses fresh op indices and values. *)
+        let second_session =
+          [
+            call 0 2 "Enqueue" ~arg:(Value.int 3) (); ret 0 2 Value.unit;
+            call 0 3 "Enqueue" ~arg:(Value.int 4) (); ret 0 3 Value.unit;
+            call 1 2 "TryDequeue" (); ret 1 2 (Value.int 4);
+            call 1 3 "TryDequeue" (); ret 1 3 (Value.int 3);
+          ]
+        in
+        let path = Filename.temp_file "lineup_test_monitor" ".fifo" in
+        Sys.remove path;
+        Unix.mkfifo path 0o600;
+        Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        @@ fun () ->
+        let session lines =
+          (* open_out blocks until the reader has the FIFO open *)
+          let oc = open_out path in
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            lines;
+          close_out oc
+        in
+        let writer =
+          Domain.spawn (fun () ->
+              session (render_history accepting_events);
+              (* give the reader time to hit EOF and re-arm *)
+              Unix.sleepf 0.2;
+              session (render_history second_session))
+        in
+        let ic = open_in path in
+        let o =
+          Driver.run ~spec:queue_spec
+            ~opts:{ Driver.default_opts with min_batch = 1; follow = true }
+            ic
+        in
+        Domain.join writer;
+        close_in_noerr ic;
+        Alcotest.check verdict "reject from the second session" Monitor.Reject
+          o.Driver.verdict);
     test "replay: interleaved hist tags are demultiplexed" (fun () ->
         (* events of two histories arrive interleaved, as a sharded
            checker's trace would record them *)

@@ -42,6 +42,7 @@ let rr log =
         steps = 0;
         preemptions = 0;
         yields = 0;
+        flushes = 0;
         choice_points = 0;
         errors = [];
         por_pruned = false;
